@@ -1,0 +1,381 @@
+package ps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Aggregator is the server of §2: it collects queries, and once per time
+// slot gathers the sensors' offers (location + price), selects the
+// sensors that maximize social welfare, shares them across queries,
+// splits costs proportionately and returns what each query obtained.
+type Aggregator struct {
+	world    *World
+	sched    Scheduling
+	baseline bool
+	ledger   core.Ledger
+
+	points    []*PointQuery
+	aggs      []*AggregateQuery
+	extra     []query.Query
+	locMon    []*LocationMonitoringQuery
+	regMon    []*RegionMonitoringQuery
+	events    []*EventDetectionQuery
+	regEvents []*RegionEventQuery
+}
+
+// Ledger exposes the aggregator's cumulative accounting: per-query
+// payments and utilities, per-sensor earnings, welfare, and balance checks
+// (the "accounting" stage of Algorithm 5).
+func (a *Aggregator) Ledger() *core.Ledger { return &a.ledger }
+
+// Option customizes an Aggregator.
+type Option func(*Aggregator)
+
+// WithScheduling selects the point-scheduling policy (default
+// SchedulingOptimal).
+func WithScheduling(s Scheduling) Option {
+	return func(a *Aggregator) { a.sched = s }
+}
+
+// WithBaselinePipeline makes the whole acquisition pipeline use the
+// evaluation's baseline algorithms (sequential execution with data
+// buffering). Useful for comparisons.
+func WithBaselinePipeline() Option {
+	return func(a *Aggregator) { a.baseline = true }
+}
+
+// NewAggregator creates an aggregator over a world.
+func NewAggregator(world *World, opts ...Option) *Aggregator {
+	a := &Aggregator{world: world}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// NextSlot returns the slot number the next RunSlot call will execute.
+func (a *Aggregator) NextSlot() int { return a.world.Fleet.Slot() + 1 }
+
+// SubmitPoint submits a single-sensor point query for the next slot with
+// the world's dmax and the evaluation's theta_min.
+func (a *Aggregator) SubmitPoint(id string, loc Point, budget float64) *PointQuery {
+	q := query.NewPoint(id, loc, budget, a.world.DMax)
+	a.points = append(a.points, q)
+	return q
+}
+
+// SubmitMultiPoint submits a multiple-sensor point query asking for k
+// redundant readings.
+func (a *Aggregator) SubmitMultiPoint(id string, loc Point, budget float64, k int) *MultiPointQuery {
+	q := query.NewMultiPoint(id, loc, budget, a.world.DMax, k)
+	a.extra = append(a.extra, q)
+	return q
+}
+
+// SubmitAggregate submits a spatial aggregate query over a region; the
+// sensing range defaults to the world's dmax.
+func (a *Aggregator) SubmitAggregate(id string, region Rect, budget float64) *AggregateQuery {
+	q := query.NewAggregate(id, region, budget, a.world.DMax, a.world.Grid)
+	a.aggs = append(a.aggs, q)
+	return q
+}
+
+// SubmitTrajectory submits a query over a trajectory.
+func (a *Aggregator) SubmitTrajectory(id string, tr Trajectory, budget float64) *TrajectoryQuery {
+	q := query.NewTrajectory(id, tr, budget, a.world.DMax)
+	a.extra = append(a.extra, q)
+	return q
+}
+
+// SubmitLocationMonitoring submits a continuous location-monitoring query
+// running from the next slot for `duration` slots; desired sampling times
+// are chosen from the location's history ([19]); the budget should scale
+// with the duration.
+func (a *Aggregator) SubmitLocationMonitoring(id string, loc Point, duration int, budget float64, samples int) *LocationMonitoringQuery {
+	start := a.NextSlot()
+	hist := a.world.History(loc, start+duration+1)
+	q := query.NewLocationMonitoring(id, loc, start, start+duration-1, budget, a.world.DMax, hist, samples)
+	a.locMon = append(a.locMon, q)
+	return q
+}
+
+// SubmitRegionMonitoring submits a continuous region-monitoring query; it
+// requires a world with a learned GP model (NewIntelLabWorld provides
+// one).
+func (a *Aggregator) SubmitRegionMonitoring(id string, region Rect, duration int, budget float64) (*RegionMonitoringQuery, error) {
+	if a.world.GPModel == nil {
+		return nil, fmt.Errorf("ps: world %q has no GP phenomenon model; region monitoring needs one", a.world.Name)
+	}
+	start := a.NextSlot()
+	q := query.NewRegionMonitoring(id, region, start, start+duration-1, budget, a.world.GPModel, a.world.Grid)
+	a.regMon = append(a.regMon, q)
+	return q, nil
+}
+
+// SubmitEventDetection submits a continuous event-detection query (the
+// §2.3 extension): redundant sampling every slot, notification when the
+// phenomenon exceeds threshold with the requested confidence.
+func (a *Aggregator) SubmitEventDetection(id string, loc Point, duration int, threshold, confidence, budgetPerSlot float64) *EventDetectionQuery {
+	start := a.NextSlot()
+	q := query.NewEventDetection(id, loc, start, start+duration-1, threshold, confidence, budgetPerSlot, a.world.DMax)
+	a.events = append(a.events, q)
+	return q
+}
+
+// SubmitRegionEvent submits a continuous region event-detection query
+// (§2.3's Q4 as an extension): every slot a spatial-aggregate probe is
+// scheduled and the quality-weighted regional average is tested against
+// the threshold, with confidence scaled by achieved coverage.
+func (a *Aggregator) SubmitRegionEvent(id string, region Rect, duration int, threshold, confidence, budgetPerSlot float64) *RegionEventQuery {
+	start := a.NextSlot()
+	q := query.NewRegionEvent(id, region, start, start+duration-1, threshold, confidence, budgetPerSlot, a.world.DMax, a.world.Grid)
+	a.regEvents = append(a.regEvents, q)
+	return q
+}
+
+// EventNotification reports one event-detection evaluation.
+type EventNotification struct {
+	QueryID    string
+	Slot       int
+	Detected   bool
+	Confidence float64
+	// Reading is the quality-weighted mean of the fused readings.
+	Reading float64
+}
+
+// SlotReport summarizes one executed time slot.
+type SlotReport struct {
+	Slot        int
+	Welfare     float64
+	TotalCost   float64
+	SensorsUsed int
+	// Per-type values obtained this slot.
+	PointValue  float64
+	AggValue    float64
+	LocMonValue float64
+	RegMonValue float64
+	ExtraValue  float64
+	// Events lists event-detection evaluations of this slot.
+	Events []EventNotification
+
+	values   map[string]float64
+	payments map[string]float64
+}
+
+// Answered reports whether the query obtained positive value this slot.
+func (r *SlotReport) Answered(id string) bool { return r.values[id] > 0 }
+
+// Value returns the valuation the query obtained this slot.
+func (r *SlotReport) Value(id string) float64 { return r.values[id] }
+
+// Payment returns what the query paid this slot.
+func (r *SlotReport) Payment(id string) float64 { return r.payments[id] }
+
+// RunSlot advances the world one time slot and executes the pending and
+// continuous queries: pure point workloads use the configured scheduling
+// policy directly (§3.1); anything else goes through the Algorithm 5
+// query-mix pipeline. Selected sensors are committed (lifetime, privacy
+// history), one-shot queries are consumed, and expired continuous queries
+// are retired.
+func (a *Aggregator) RunSlot() *SlotReport {
+	offers := a.world.Fleet.Step()
+	t := a.world.Fleet.Slot()
+	report := &SlotReport{
+		Slot:     t,
+		values:   make(map[string]float64),
+		payments: make(map[string]float64),
+	}
+
+	// Materialize event-detection probes.
+	probes := make(map[string]*EventDetectionQuery)
+	regProbes := make(map[string]*RegionEventQuery)
+	extra := append([]query.Query(nil), a.extra...)
+	for _, e := range a.events {
+		if mp, ok := e.CreatePointQuery(t); ok {
+			extra = append(extra, mp)
+			probes[mp.QID()] = e
+		}
+	}
+	for _, e := range a.regEvents {
+		if agg, ok := e.CreateProbe(t); ok {
+			extra = append(extra, agg)
+			regProbes[agg.QID()] = e
+		}
+	}
+
+	pureMix := len(a.aggs) > 0 || len(extra) > 0 ||
+		len(activeLocMon(a.locMon, t)) > 0 || len(activeRegMon(a.regMon, t)) > 0
+
+	if !pureMix {
+		// Point-only slot: honor the configured scheduling policy.
+		res := a.sched.solver()(a.points, offers)
+		a.world.Fleet.Commit(res.Selected)
+		a.ledger.RecordPointResult(res)
+		report.Welfare = res.Welfare()
+		report.TotalCost = res.TotalCost
+		report.SensorsUsed = len(res.Selected)
+		report.PointValue = res.TotalValue
+		for qid, o := range res.Outcomes {
+			report.values[qid] = o.Value
+			report.payments[qid] = o.Payment
+		}
+	} else {
+		mq := core.MixQueries{
+			Aggregates: a.aggs,
+			Points:     a.points,
+			LocMon:     a.locMon,
+			RegMon:     a.regMon,
+			Extra:      extra,
+		}
+		var res *core.MixSlotResult
+		if a.baseline {
+			res = core.RunMixSlotBaseline(t, mq, offers)
+		} else {
+			res = core.RunMixSlot(t, mq, offers)
+		}
+		a.world.Fleet.Commit(res.Multi.Selected)
+		a.ledger.RecordMixResult(res)
+		report.Welfare = res.Welfare()
+		report.TotalCost = res.TotalCost
+		report.SensorsUsed = len(res.Multi.Selected)
+		report.PointValue = res.PointValue
+		report.AggValue = res.AggValue
+		report.LocMonValue = res.LocMonValue
+		report.RegMonValue = res.RegMonValue
+		report.ExtraValue = res.ExtraValue
+		for qid, out := range res.Multi.Outcomes {
+			if out.Value > 0 {
+				report.values[qid] = out.Value
+				report.payments[qid] = out.TotalPayment()
+			}
+		}
+		for qid, o := range res.PointOutcomes {
+			report.values[qid] = o.Value
+			report.payments[qid] = o.Payment
+		}
+
+		// Evaluate region-event probes: readings plus achieved coverage.
+		for pid, e := range regProbes {
+			out := res.Multi.Outcomes[pid]
+			if out == nil || len(out.Sensors) == 0 {
+				continue
+			}
+			var vals, thetas []float64
+			var centers []Point
+			for _, s := range out.Sensors {
+				th := (1 - s.Inaccuracy) * s.Trust
+				if th <= 0 {
+					continue
+				}
+				vals = append(vals, a.world.ReadingAt(s.Pos, t))
+				thetas = append(thetas, th)
+				centers = append(centers, s.Pos)
+			}
+			coverage := a.world.Grid.CoverageFraction(e.Region, centers, e.SensingRange)
+			detected, conf, avg := e.Evaluate(vals, thetas, coverage)
+			report.Events = append(report.Events, EventNotification{
+				QueryID: e.ID, Slot: t, Detected: detected, Confidence: conf, Reading: avg,
+			})
+		}
+
+		// Evaluate event probes on the acquired readings.
+		for pid, e := range probes {
+			out := res.Multi.Outcomes[pid]
+			if out == nil || len(out.Sensors) == 0 {
+				continue
+			}
+			var vals, thetas []float64
+			var wsum, wv float64
+			for _, s := range out.Sensors {
+				th := s.Quality(e.Loc, e.DMax)
+				if th <= 0 {
+					continue
+				}
+				v := a.world.ReadingAt(s.Pos, t)
+				vals = append(vals, v)
+				thetas = append(thetas, th)
+				wsum += th
+				wv += th * v
+			}
+			detected, conf := e.Evaluate(vals, thetas)
+			n := EventNotification{QueryID: e.ID, Slot: t, Detected: detected, Confidence: conf}
+			if wsum > 0 {
+				n.Reading = wv / wsum
+			}
+			report.Events = append(report.Events, n)
+		}
+	}
+
+	// One-shot queries are consumed; expired continuous queries retire.
+	a.points = nil
+	a.aggs = nil
+	a.extra = nil
+	a.locMon = pruneLocMon(a.locMon, t)
+	a.regMon = pruneRegMon(a.regMon, t)
+	a.events = pruneEvents(a.events, t)
+	a.regEvents = pruneRegionEvents(a.regEvents, t)
+	return report
+}
+
+func activeLocMon(qs []*LocationMonitoringQuery, t int) []*LocationMonitoringQuery {
+	var out []*LocationMonitoringQuery
+	for _, q := range qs {
+		if q.Active(t) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func activeRegMon(qs []*RegionMonitoringQuery, t int) []*RegionMonitoringQuery {
+	var out []*RegionMonitoringQuery
+	for _, q := range qs {
+		if q.Active(t) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func pruneLocMon(qs []*LocationMonitoringQuery, t int) []*LocationMonitoringQuery {
+	kept := qs[:0]
+	for _, q := range qs {
+		if q.End > t {
+			kept = append(kept, q)
+		}
+	}
+	return kept
+}
+
+func pruneRegMon(qs []*RegionMonitoringQuery, t int) []*RegionMonitoringQuery {
+	kept := qs[:0]
+	for _, q := range qs {
+		if q.End > t {
+			kept = append(kept, q)
+		}
+	}
+	return kept
+}
+
+func pruneEvents(qs []*EventDetectionQuery, t int) []*EventDetectionQuery {
+	kept := qs[:0]
+	for _, q := range qs {
+		if q.End > t {
+			kept = append(kept, q)
+		}
+	}
+	return kept
+}
+
+func pruneRegionEvents(qs []*RegionEventQuery, t int) []*RegionEventQuery {
+	kept := qs[:0]
+	for _, q := range qs {
+		if q.End > t {
+			kept = append(kept, q)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,31 @@
+// Package ps is the public API of this reproduction of "Utility-driven
+// Data Acquisition in Participatory Sensing" (Riahi, Papaioannou, Trummer,
+// Aberer — EDBT 2013).
+//
+// A participatory-sensing deployment is modeled as a World: a fleet of
+// mobile, priced, partially trusted sensors roaming a region. Applications
+// submit queries — point, spatial aggregate, trajectory, multi-sensor
+// point, location monitoring, region monitoring and event detection — to
+// an Aggregator, which once per time slot selects the sensors that
+// maximize social welfare (total query valuation minus total sensor cost),
+// shares sensors across queries, and splits each sensor's cost among the
+// queries it serves so that every answered query keeps positive utility.
+//
+// Quick start:
+//
+//	world := ps.NewRWMWorld(1, 200, ps.SensorConfig{})
+//	agg := ps.NewAggregator(world)
+//	agg.SubmitPoint("q1", ps.Pt(30, 30), 15)
+//	report := agg.RunSlot()
+//	fmt.Println(report.Welfare, report.Answered("q1"))
+//
+// The scheduling policies of the paper are selectable via options:
+// WithOptimalScheduling (the exact BILP of §3.1.1, default),
+// WithLocalSearchScheduling (the 1/3-approximation of §3.1.2) and
+// WithBaselineScheduling (the evaluation's baseline). Continuous queries
+// persist across slots and are re-planned every slot per Algorithms 2-5.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure; cmd/psbench regenerates
+// the figures.
+package ps

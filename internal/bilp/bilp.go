@@ -1,0 +1,214 @@
+// Package bilp provides the binary integer linear programming machinery
+// behind the paper's "Optimal Scheduling" (§3.1.1): problem (9) assigns
+// sensors to queried locations maximizing total valuation minus sensor
+// costs. The paper solves it with an off-the-shelf ILP solver; this package
+// implements the equivalent from scratch:
+//
+//   - a generic 0/1 branch-and-bound solver (Solve) with a brute-force
+//     reference (SolveBrute) used to validate it, and
+//   - a specialized exact solver for the sensor-assignment structure
+//     (facility.go), which exploits connected-component decomposition and a
+//     submodularity-based bound to handle the evaluation's instance sizes.
+package bilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a 0/1 integer program in canonical form:
+//
+//	maximize    c . x
+//	subject to  A x <= b,   x binary.
+type Problem struct {
+	// Obj is the objective vector c (length n).
+	Obj []float64
+	// A holds one row per constraint (each of length n); B the right-hand
+	// sides.
+	A [][]float64
+	B []float64
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	X         []bool
+	Objective float64
+	// Exact is false when a node budget was exhausted and the solution is
+	// only the best incumbent found.
+	Exact bool
+	// Nodes counts branch-and-bound nodes explored.
+	Nodes int
+}
+
+// ErrInfeasible is returned when no binary assignment satisfies the
+// constraints.
+var ErrInfeasible = errors.New("bilp: infeasible")
+
+func (p *Problem) validate() error {
+	n := len(p.Obj)
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("bilp: %d constraint rows vs %d rhs", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("bilp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) feasible(x []bool) bool {
+	for i, row := range p.A {
+		var sum float64
+		for j, v := range row {
+			if x[j] {
+				sum += v
+			}
+		}
+		if sum > p.B[i]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Problem) objective(x []bool) float64 {
+	var sum float64
+	for j, c := range p.Obj {
+		if x[j] {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// SolveBrute enumerates all 2^n assignments. It is the testing reference;
+// n must be at most 25.
+func (p *Problem) SolveBrute() (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Obj)
+	if n > 25 {
+		return nil, fmt.Errorf("bilp: brute force limited to 25 variables, got %d", n)
+	}
+	best := math.Inf(-1)
+	var bestX []bool
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for j := 0; j < n; j++ {
+			x[j] = mask&(1<<uint(j)) != 0
+		}
+		if !p.feasible(x) {
+			continue
+		}
+		if obj := p.objective(x); obj > best {
+			best = obj
+			bestX = append(bestX[:0:0], x...)
+		}
+	}
+	if bestX == nil {
+		return nil, ErrInfeasible
+	}
+	return &Solution{X: bestX, Objective: best, Exact: true, Nodes: 1 << uint(n)}, nil
+}
+
+// Solve runs depth-first branch and bound. The bound at a node fixes a
+// prefix of variables and admits every remaining positive objective
+// coefficient; feasibility is checked against the partial assignment using
+// the minimum possible contribution of free variables. maxNodes bounds the
+// search (0 means 10 million).
+func (p *Problem) Solve(maxNodes int) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if maxNodes <= 0 {
+		maxNodes = 10_000_000
+	}
+	n := len(p.Obj)
+
+	// Precompute per-constraint minimum contribution of suffix variables:
+	// minSuffix[i][j] = sum over k >= j of min(0, A[i][k]). If even with
+	// the most favourable suffix the row exceeds b, the node is infeasible.
+	minSuffix := make([][]float64, len(p.A))
+	for i, row := range p.A {
+		ms := make([]float64, n+1)
+		for j := n - 1; j >= 0; j-- {
+			ms[j] = ms[j+1]
+			if row[j] < 0 {
+				ms[j] += row[j]
+			}
+		}
+		minSuffix[i] = ms
+	}
+	// posSuffix[j] = sum over k >= j of max(0, c[k]) for the bound.
+	posSuffix := make([]float64, n+1)
+	for j := n - 1; j >= 0; j-- {
+		posSuffix[j] = posSuffix[j+1]
+		if p.Obj[j] > 0 {
+			posSuffix[j] += p.Obj[j]
+		}
+	}
+
+	sol := &Solution{Exact: true}
+	best := math.Inf(-1)
+	var bestX []bool
+	x := make([]bool, n)
+	rowSum := make([]float64, len(p.A))
+
+	var dfs func(j int, obj float64)
+	dfs = func(j int, obj float64) {
+		if sol.Nodes >= maxNodes {
+			sol.Exact = false
+			return
+		}
+		sol.Nodes++
+		// Feasibility pruning.
+		for i := range p.A {
+			if rowSum[i]+minSuffix[i][j] > p.B[i]+1e-9 {
+				return
+			}
+		}
+		// Bound pruning.
+		if obj+posSuffix[j] <= best+1e-12 {
+			return
+		}
+		if j == n {
+			best = obj
+			bestX = append(bestX[:0:0], x...)
+			return
+		}
+		// Try the more promising branch first.
+		order := [2]bool{true, false}
+		if p.Obj[j] <= 0 {
+			order = [2]bool{false, true}
+		}
+		for _, v := range order {
+			x[j] = v
+			if v {
+				for i := range p.A {
+					rowSum[i] += p.A[i][j]
+				}
+				dfs(j+1, obj+p.Obj[j])
+				for i := range p.A {
+					rowSum[i] -= p.A[i][j]
+				}
+			} else {
+				dfs(j+1, obj)
+			}
+		}
+		x[j] = false
+	}
+	dfs(0, 0)
+
+	if bestX == nil {
+		if !sol.Exact {
+			return nil, fmt.Errorf("bilp: node budget exhausted before finding a feasible point")
+		}
+		return nil, ErrInfeasible
+	}
+	sol.X = bestX
+	sol.Objective = best
+	return sol, nil
+}

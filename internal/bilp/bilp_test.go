@@ -1,0 +1,308 @@
+package bilp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSolveKnapsack(t *testing.T) {
+	// Classic knapsack: values {6,10,12}, weights {1,2,3}, capacity 5 ->
+	// take items 2 and 3 for value 22.
+	p := &Problem{
+		Obj: []float64{6, 10, 12},
+		A:   [][]float64{{1, 2, 3}},
+		B:   []float64{5},
+	}
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 22 {
+		t.Errorf("objective = %v want 22", sol.Objective)
+	}
+	if sol.X[0] || !sol.X[1] || !sol.X[2] {
+		t.Errorf("X = %v", sol.X)
+	}
+	if !sol.Exact {
+		t.Error("should be exact")
+	}
+}
+
+func TestSolveUnconstrainedTakesPositives(t *testing.T) {
+	p := &Problem{Obj: []float64{3, -2, 5, 0}, A: nil, B: nil}
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 8 {
+		t.Errorf("objective = %v want 8", sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x1 + x2 <= -1 is unsatisfiable even with both zero.
+	p := &Problem{Obj: []float64{1, 1}, A: [][]float64{{1, 1}}, B: []float64{-1}}
+	if _, err := p.Solve(0); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveNegativeCoefficientConstraint(t *testing.T) {
+	// Constraint -x1 <= -1 forces x1 = 1 even though its objective is
+	// negative.
+	p := &Problem{Obj: []float64{-5, 2}, A: [][]float64{{-1, 0}}, B: []float64{-1}}
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.X[0] {
+		t.Error("x1 must be forced on")
+	}
+	if sol.Objective != -3 {
+		t.Errorf("objective = %v want -3", sol.Objective)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Problem{Obj: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}
+	if _, err := p.Solve(0); err == nil {
+		t.Error("row length mismatch should error")
+	}
+	p2 := &Problem{Obj: []float64{1}, A: [][]float64{{1}}, B: nil}
+	if _, err := p2.Solve(0); err == nil {
+		t.Error("rows vs rhs mismatch should error")
+	}
+	if _, err := (&Problem{Obj: make([]float64, 30)}).SolveBrute(); err == nil {
+		t.Error("brute force must refuse n > 25")
+	}
+}
+
+func TestSolveMatchesBruteOnRandomInstances(t *testing.T) {
+	s := rng.New(77, "bilp-random")
+	for trial := 0; trial < 60; trial++ {
+		n := s.IntBetween(1, 10)
+		m := s.IntBetween(0, 4)
+		p := &Problem{Obj: make([]float64, n)}
+		for j := range p.Obj {
+			p.Obj[j] = s.Uniform(-10, 10)
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = s.Uniform(-3, 5)
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, s.Uniform(0, 8))
+		}
+		brute, errB := p.SolveBrute()
+		bb, errS := p.Solve(0)
+		if (errB == nil) != (errS == nil) {
+			t.Fatalf("trial %d: err mismatch: brute=%v solve=%v", trial, errB, errS)
+		}
+		if errB != nil {
+			continue
+		}
+		if math.Abs(brute.Objective-bb.Objective) > 1e-9 {
+			t.Fatalf("trial %d: brute %v != solve %v", trial, brute.Objective, bb.Objective)
+		}
+	}
+}
+
+func TestSolveNodeBudget(t *testing.T) {
+	// A tiny node budget must not crash; it may return inexact results.
+	p := &Problem{Obj: []float64{1, 1, 1, 1, 1}}
+	sol, err := p.Solve(2)
+	if err == nil && sol.Exact {
+		t.Log("solved exactly within 2 nodes (fine)")
+	}
+}
+
+func randomFL(s *rng.Stream, nF, nC int) *FLProblem {
+	p := &FLProblem{
+		OpenCost: make([]float64, nF),
+		Profits:  make([][]FLProfit, nC),
+	}
+	for f := range p.OpenCost {
+		p.OpenCost[f] = s.Uniform(1, 12)
+	}
+	for l := 0; l < nC; l++ {
+		for f := 0; f < nF; f++ {
+			if s.Bool(0.4) {
+				p.Profits[l] = append(p.Profits[l], FLProfit{Facility: f, Profit: s.Uniform(0.5, 9)})
+			}
+		}
+	}
+	return p
+}
+
+func TestSolveFLMatchesBrute(t *testing.T) {
+	s := rng.New(123, "fl-random")
+	for trial := 0; trial < 80; trial++ {
+		nF := s.IntBetween(1, 9)
+		nC := s.IntBetween(1, 12)
+		p := randomFL(s, nF, nC)
+		brute := FLBrute(p)
+		sol := SolveFL(p, FLOptions{})
+		if !sol.Exact {
+			t.Fatalf("trial %d: expected exact solve", trial)
+		}
+		if math.Abs(brute.Objective-sol.Objective) > 1e-9 {
+			t.Fatalf("trial %d: brute %v != bb %v", trial, brute.Objective, sol.Objective)
+		}
+	}
+}
+
+func TestSolveFLAssignmentsConsistent(t *testing.T) {
+	s := rng.New(5, "fl-assign")
+	p := randomFL(s, 8, 15)
+	sol := SolveFL(p, FLOptions{})
+	for l, f := range sol.Assign {
+		if f == -1 {
+			continue
+		}
+		if !sol.Open[f] {
+			t.Errorf("client %d assigned to closed facility %d", l, f)
+		}
+		// The assignment must be the best open option.
+		var bestOpen float64
+		for _, e := range p.Profits[l] {
+			if sol.Open[e.Facility] && e.Profit > bestOpen {
+				bestOpen = e.Profit
+			}
+		}
+		var got float64
+		for _, e := range p.Profits[l] {
+			if e.Facility == f {
+				got = e.Profit
+			}
+		}
+		if got < bestOpen-1e-9 {
+			t.Errorf("client %d not assigned to its best open facility", l)
+		}
+	}
+}
+
+func TestSolveFLEmptyAndTrivial(t *testing.T) {
+	// No facilities, one client.
+	p := &FLProblem{OpenCost: nil, Profits: [][]FLProfit{nil}}
+	sol := SolveFL(p, FLOptions{})
+	if sol.Objective != 0 || sol.Assign[0] != -1 {
+		t.Errorf("empty instance: %+v", sol)
+	}
+	// One facility that pays for itself.
+	p2 := &FLProblem{
+		OpenCost: []float64{5},
+		Profits:  [][]FLProfit{{{Facility: 0, Profit: 9}}},
+	}
+	sol2 := SolveFL(p2, FLOptions{})
+	if sol2.Objective != 4 || !sol2.Open[0] || sol2.Assign[0] != 0 {
+		t.Errorf("single profitable facility: %+v", sol2)
+	}
+	// One facility that does not pay for itself stays closed.
+	p3 := &FLProblem{
+		OpenCost: []float64{10},
+		Profits:  [][]FLProfit{{{Facility: 0, Profit: 4}}},
+	}
+	sol3 := SolveFL(p3, FLOptions{})
+	if sol3.Objective != 0 || sol3.Open[0] {
+		t.Errorf("unprofitable facility opened: %+v", sol3)
+	}
+}
+
+func TestSolveFLSharedSensorAcrossClients(t *testing.T) {
+	// One sensor too expensive for any single query but worth opening for
+	// three queries together — the crux of the paper's budget-7 scenario.
+	p := &FLProblem{
+		OpenCost: []float64{10},
+		Profits: [][]FLProfit{
+			{{Facility: 0, Profit: 4}},
+			{{Facility: 0, Profit: 4}},
+			{{Facility: 0, Profit: 4}},
+		},
+	}
+	sol := SolveFL(p, FLOptions{})
+	if !sol.Open[0] {
+		t.Fatal("shared sensor should open")
+	}
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Errorf("objective = %v want 2", sol.Objective)
+	}
+}
+
+func TestSolveFLComponentDecomposition(t *testing.T) {
+	// Two independent sub-instances must both be solved; nodes explored
+	// should reflect two small searches rather than one big one.
+	p := &FLProblem{
+		OpenCost: []float64{3, 3},
+		Profits: [][]FLProfit{
+			{{Facility: 0, Profit: 5}},
+			{{Facility: 1, Profit: 5}},
+		},
+	}
+	sol := SolveFL(p, FLOptions{})
+	if sol.Objective != 4 {
+		t.Errorf("objective = %v want 4", sol.Objective)
+	}
+	if !sol.Open[0] || !sol.Open[1] {
+		t.Errorf("both facilities should open: %v", sol.Open)
+	}
+}
+
+func TestSolveFLWarmStart(t *testing.T) {
+	s := rng.New(9, "fl-warm")
+	p := randomFL(s, 10, 14)
+	plain := SolveFL(p, FLOptions{})
+	warm := SolveFL(p, FLOptions{WarmStart: plain.Open})
+	if math.Abs(plain.Objective-warm.Objective) > 1e-9 {
+		t.Errorf("warm start changed optimum: %v vs %v", plain.Objective, warm.Objective)
+	}
+	if warm.Nodes > plain.Nodes {
+		t.Logf("warm start explored more nodes (%d > %d) — acceptable but unexpected", warm.Nodes, plain.Nodes)
+	}
+}
+
+func TestSolveFLMediumInstanceExact(t *testing.T) {
+	// A 60-facility, 150-client geometric-ish instance should solve exactly
+	// within the node budget thanks to decomposition + submodular bound.
+	s := rng.New(31, "fl-medium")
+	nF, nC := 60, 150
+	p := &FLProblem{OpenCost: make([]float64, nF), Profits: make([][]FLProfit, nC)}
+	for f := range p.OpenCost {
+		p.OpenCost[f] = 10
+	}
+	for l := 0; l < nC; l++ {
+		// Each client sees ~4 nearby facilities.
+		base := s.Intn(nF)
+		for k := 0; k < 4; k++ {
+			f := (base + k*3) % nF
+			p.Profits[l] = append(p.Profits[l], FLProfit{Facility: f, Profit: s.Uniform(1, 8)})
+		}
+	}
+	sol := SolveFL(p, FLOptions{})
+	if !sol.Exact {
+		t.Error("medium instance should solve exactly")
+	}
+	if sol.Objective <= 0 {
+		t.Errorf("objective = %v, expected positive welfare", sol.Objective)
+	}
+}
+
+func TestSortedFacilities(t *testing.T) {
+	p := &FLProblem{
+		OpenCost: []float64{1, 1, 1},
+		Profits: [][]FLProfit{
+			{{Facility: 2, Profit: 10}},
+			{{Facility: 0, Profit: 3}},
+		},
+	}
+	idx := p.SortedFacilities()
+	if idx[0] != 2 {
+		t.Errorf("most profitable facility should sort first: %v", idx)
+	}
+	if len(idx) != 3 {
+		t.Errorf("len=%d", len(idx))
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"repro/internal/query"
+	"repro/internal/sensornet"
+)
+
+// MultiOutcome records one query's result in a multi-sensor selection.
+type MultiOutcome struct {
+	Sensors  []*sensornet.Sensor
+	Payments map[int]float64 // sensor ID -> pi_{q,s}
+	Value    float64         // v_q(S_q)
+}
+
+// TotalPayment sums the query's payments.
+func (o *MultiOutcome) TotalPayment() float64 {
+	var sum float64
+	for _, p := range o.Payments {
+		sum += p
+	}
+	return sum
+}
+
+// MultiResult is the outcome of Algorithm 1 on a batch of queries.
+type MultiResult struct {
+	Selected   []*sensornet.Sensor
+	TotalCost  float64
+	TotalValue float64
+	// Outcomes by query ID. Every input query has an entry; unserved
+	// queries have empty sensor sets and zero value.
+	Outcomes map[string]*MultiOutcome
+	// States exposes the final valuation state per query ID, so callers
+	// (Algorithm 5) can continue applying results.
+	States map[string]query.State
+}
+
+// Welfare returns total value minus total cost (Theorem 1 guarantees it is
+// positive whenever any sensor was selected).
+func (r *MultiResult) Welfare() float64 { return r.TotalValue - r.TotalCost }
+
+// GreedySelect is Algorithm 1: greedy multi-sensor selection across a set
+// of queries with arbitrary (black-box) valuation functions. Each
+// iteration picks the sensor a maximizing sum_q deltav_{q,a} - c_a over
+// the queries it improves, commits it to those queries, and charges each
+// query pi_{q,a} = deltav_{q,a} * c_a / sum_q deltav_{q,a} (proportionate
+// cost sharing). It stops when no sensor yields positive net benefit.
+//
+// The loop structure makes O(|Q| |S|^2) valuation calls (Theorem 1,
+// property 4); the per-query incremental states keep each call cheap.
+func GreedySelect(queries []query.Query, offers []Offer) *MultiResult {
+	res := &MultiResult{
+		Outcomes: make(map[string]*MultiOutcome, len(queries)),
+		States:   make(map[string]query.State, len(queries)),
+	}
+	states := make([]query.State, len(queries))
+	for i, q := range queries {
+		states[i] = q.NewState()
+		res.Outcomes[q.QID()] = &MultiOutcome{Payments: make(map[int]float64)}
+		res.States[q.QID()] = states[i]
+	}
+	if len(queries) == 0 || len(offers) == 0 {
+		return res
+	}
+
+	// Spatial prefilter: relevant queries per sensor (the Q_{l_s} of the
+	// pseudocode). Relevance is static within a slot.
+	relevant := make([][]int, len(offers))
+	for si, o := range offers {
+		for qi, q := range queries {
+			if q.Relevant(o.Sensor) {
+				relevant[si] = append(relevant[si], qi)
+			}
+		}
+	}
+
+	// Marginal gains depend only on the query's own state, so cached gains
+	// stay exact until that query commits a sensor. Version stamps per
+	// query invalidate precisely the affected (sensor, query) pairs,
+	// turning the O(|Q||S|^2) valuation-call bound of Theorem 1 into a
+	// near-linear number of calls on sparse instances.
+	gainCache := make([][]float64, len(offers))
+	verCache := make([][]int, len(offers))
+	for si := range offers {
+		gainCache[si] = make([]float64, len(relevant[si]))
+		verCache[si] = make([]int, len(relevant[si]))
+		for k := range verCache[si] {
+			verCache[si][k] = -1
+		}
+	}
+	qver := make([]int, len(queries))
+
+	remaining := make([]bool, len(offers))
+	for i := range remaining {
+		remaining[i] = true
+	}
+
+	for {
+		bestS, bestNet := -1, 0.0
+		for si := range offers {
+			if !remaining[si] {
+				continue
+			}
+			net := -offers[si].Cost
+			for k, qi := range relevant[si] {
+				if verCache[si][k] != qver[qi] {
+					gainCache[si][k] = states[qi].Gain(offers[si].Sensor)
+					verCache[si][k] = qver[qi]
+				}
+				if dv := gainCache[si][k]; dv > 0 {
+					net += dv
+				}
+			}
+			if net > bestNet {
+				bestNet = net
+				bestS = si
+			}
+		}
+		if bestS == -1 {
+			break // no sensor with positive net benefit: leave the loop
+		}
+
+		o := offers[bestS]
+		var sumDv float64
+		for k, qi := range relevant[bestS] {
+			if verCache[bestS][k] == qver[qi] && gainCache[bestS][k] > 0 {
+				sumDv += gainCache[bestS][k]
+			}
+		}
+		for k, qi := range relevant[bestS] {
+			dv := gainCache[bestS][k]
+			if verCache[bestS][k] != qver[qi] || dv <= 0 {
+				continue
+			}
+			st := states[qi]
+			st.Add(o.Sensor)
+			qver[qi]++
+			out := res.Outcomes[queries[qi].QID()]
+			out.Sensors = append(out.Sensors, o.Sensor)
+			out.Payments[o.Sensor.ID] += dv * o.Cost / sumDv
+		}
+		remaining[bestS] = false
+		res.Selected = append(res.Selected, o.Sensor)
+		res.TotalCost += o.Cost
+	}
+
+	for i, q := range queries {
+		out := res.Outcomes[q.QID()]
+		out.Value = states[i].Value()
+		res.TotalValue += out.Value
+	}
+	return res
+}
+
+// GreedyPoint adapts Algorithm 1 to the PointSolver interface so the mix
+// pipeline can schedule point queries through the shared greedy pass.
+func GreedyPoint() PointSolver {
+	return func(queries []*query.Point, offers []Offer) *PointResult {
+		qs := make([]query.Query, len(queries))
+		for i, q := range queries {
+			qs[i] = q
+		}
+		multi := GreedySelect(qs, offers)
+		return pointResultFromMulti(queries, multi)
+	}
+}
+
+// pointResultFromMulti converts a MultiResult over point queries into the
+// PointResult shape (one sensor per query: the best one committed).
+func pointResultFromMulti(queries []*query.Point, multi *MultiResult) *PointResult {
+	res := &PointResult{
+		Outcomes:   make(map[string]PointOutcome),
+		Exact:      true,
+		Selected:   multi.Selected,
+		TotalCost:  multi.TotalCost,
+		TotalValue: multi.TotalValue,
+	}
+	for _, q := range queries {
+		out := multi.Outcomes[q.QID()]
+		if out == nil || out.Value <= 0 {
+			continue
+		}
+		// The best sensor committed to the query delivers its value.
+		var best *sensornet.Sensor
+		bestV := 0.0
+		for _, s := range out.Sensors {
+			if v := q.ValueSingle(s); v > bestV {
+				bestV, best = v, s
+			}
+		}
+		if best == nil {
+			continue
+		}
+		res.Outcomes[q.QID()] = PointOutcome{
+			Sensor:  best,
+			Payment: out.TotalPayment(),
+			Value:   out.Value,
+			Theta:   q.Theta(best),
+		}
+	}
+	return res
+}

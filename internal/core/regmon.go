@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/geo"
+	"repro/internal/gp"
+	"repro/internal/query"
+	"repro/internal/sensornet"
+)
+
+// WeightEq18 is the cost-weighting function w(k) of Eq. 18 applied to a
+// sensor that falls into the region of k region-monitoring queries. The
+// paper defines w as returning "a real value between 0 and 1" and prints
+// the table {11-k for k<10, 0.1 otherwise}; we read it on the 0..1 scale
+// as (11-k)/10: no discount for a single query, down to 10% of the cost
+// at ten or more sharing queries.
+func WeightEq18(k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	if k >= 10 {
+		return 0.1
+	}
+	return float64(11-k) / 10
+}
+
+// RegMonOptions configures region-monitoring acquisition.
+type RegMonOptions struct {
+	// Solver schedules the generated point queries (Optimal in §4.6).
+	Solver PointSolver
+	// CostWeighting enables the w(k) discount of Eq. 18 on sensors shared
+	// by several region queries.
+	CostWeighting bool
+	// ShareSensors enables using sensors selected for other queries that
+	// happen to fall inside a query's region (the A_{r,t} stage of
+	// Algorithm 3's ApplyResults).
+	ShareSensors bool
+	// Weight overrides WeightEq18 when non-nil.
+	Weight func(k int) float64
+	// MaxPlanningTimes caps the future time instants Algorithm 4 considers
+	// (the paper iterates t = tc..q.t2; we subsample to bound planning
+	// cost). 0 means 8.
+	MaxPlanningTimes int
+}
+
+// RegMonSlotResult is the outcome of one slot of Algorithm 3.
+type RegMonSlotResult struct {
+	Point *PointResult
+	// ValueGained sums the per-query increases of the Eq. 7 valuation.
+	ValueGained float64
+	// Contributions maps sensor IDs to the total cost contribution made by
+	// region queries for shared sensors — the payment-adjustment input of
+	// Algorithm 5.
+	Contributions map[int]float64
+	// Issued counts the generated point queries.
+	Issued int
+}
+
+// Welfare returns the slot's contribution to social welfare; cost
+// contributions are transfers between queries, not welfare.
+func (r *RegMonSlotResult) Welfare() float64 { return r.ValueGained - r.Point.TotalCost }
+
+// regPlan is one query's sampling plan for the current slot.
+type regPlan struct {
+	q            *query.RegionMonitoring
+	expectedCost float64  // C_t: announced (weighted) cost of planned sensors
+	pointIDs     []string // generated point query IDs
+}
+
+// RunRegionMonitoringSlot is Algorithm 3 with Algorithm 4 as the
+// query-specific sampling-point selector f_q: each active region
+// monitoring query plans its best sampling locations under the remaining
+// budget, materializes one point query per planned location valued at its
+// marginal contribution v_q(S_t) - v_q(S_t \ {s}) (CreatePointQueries),
+// all point queries are scheduled jointly, results are applied, and each
+// query may opportunistically contribute to sensors selected for other
+// queries inside its region, capped at alpha*(C_t - C-hat_t)
+// (ApplyResults).
+func RunRegionMonitoringSlot(t int, queries []*query.RegionMonitoring, offers []Offer, opts RegMonOptions) *RegMonSlotResult {
+	if opts.Solver == nil {
+		opts.Solver = OptimalPoint(OptimalOptions{})
+	}
+	weight := opts.Weight
+	if weight == nil {
+		weight = WeightEq18
+	}
+
+	var active []*query.RegionMonitoring
+	for _, q := range queries {
+		if q.Active(t) {
+			q.ResetIfNeeded(t)
+			active = append(active, q)
+		}
+	}
+	out := &RegMonSlotResult{Contributions: make(map[int]float64)}
+	if len(active) == 0 {
+		out.Point = &PointResult{Outcomes: map[string]PointOutcome{}, Exact: true}
+		return out
+	}
+
+	// k(s): how many active query regions contain each sensor (Eq. 18).
+	shareCount := make(map[int]int)
+	for _, o := range offers {
+		for _, q := range active {
+			if q.Region.Contains(o.Sensor.Pos) {
+				shareCount[o.Sensor.ID]++
+			}
+		}
+	}
+
+	valueBefore := make(map[string]float64, len(active))
+	var pts []*query.Point
+	plans := make([]*regPlan, 0, len(active))
+	for _, q := range active {
+		valueBefore[q.ID] = q.Value()
+		// S_{r,t} and SC_{r,t}: in-region sensors with (weighted) costs.
+		var inRegion []Offer
+		var costs []float64
+		for _, o := range offers {
+			if !q.Region.Contains(o.Sensor.Pos) {
+				continue
+			}
+			c := o.Cost
+			if opts.CostWeighting {
+				c *= weight(shareCount[o.Sensor.ID])
+			}
+			inRegion = append(inRegion, o)
+			costs = append(costs, c)
+		}
+		planned := selectSamplingPoints(q, inRegion, costs, q.RemainingBudget(), t, opts.MaxPlanningTimes)
+		if len(planned) == 0 {
+			continue
+		}
+		plan := &regPlan{q: q}
+		pset := make([]*sensornet.Sensor, len(planned))
+		thetas := make([]float64, len(planned))
+		for i, pi := range planned {
+			pset[i] = inRegion[pi].Sensor
+			thetas[i] = q.Theta(pset[i])
+		}
+		vFull := q.PlanValue(sensorPositions(pset), thetas)
+		for i, pi := range planned {
+			rest := make([]*sensornet.Sensor, 0, len(pset)-1)
+			restThetas := make([]float64, 0, len(pset)-1)
+			for j := range pset {
+				if j != i {
+					rest = append(rest, pset[j])
+					restThetas = append(restThetas, thetas[j])
+				}
+			}
+			marginal := vFull - q.PlanValue(sensorPositions(rest), restThetas)
+			if marginal <= 0 {
+				continue
+			}
+			p := query.NewPoint(query.PointID(q.ID, t, "s"+strconv.Itoa(pset[i].ID)), pset[i].Pos, marginal, 1.5)
+			p.ThetaMin = 0.01
+			pts = append(pts, p)
+			plan.pointIDs = append(plan.pointIDs, p.QID())
+			plan.expectedCost += costs[pi]
+		}
+		plans = append(plans, plan)
+	}
+	out.Issued = len(pts)
+
+	res := opts.Solver(pts, offers)
+	out.Point = res
+
+	// ApplyResults: record satisfied samples.
+	recorded := make(map[*query.RegionMonitoring]map[int]bool)
+	spentActual := make(map[*regPlan]float64)
+	for _, plan := range plans {
+		recorded[plan.q] = make(map[int]bool)
+		for _, pid := range plan.pointIDs {
+			o, ok := res.Outcomes[pid]
+			if !ok {
+				continue
+			}
+			plan.q.Record(o.Sensor.Pos, plan.q.Theta(o.Sensor), o.Payment)
+			recorded[plan.q][o.Sensor.ID] = true
+			spentActual[plan] += o.Payment
+		}
+	}
+
+	// Sharing stage: contribute to other queries' sensors in the region.
+	if opts.ShareSensors {
+		for _, plan := range plans {
+			q := plan.q
+			budget := q.Alpha * (plan.expectedCost - spentActual[plan])
+			if budget <= 0 {
+				continue
+			}
+			type cand struct {
+				s  *sensornet.Sensor
+				dv float64
+			}
+			var cands []cand
+			for _, s := range res.Selected {
+				if !q.Region.Contains(s.Pos) || recorded[q][s.ID] {
+					continue
+				}
+				if dv := marginalRegionValue(q, s); dv > 0 {
+					cands = append(cands, cand{s: s, dv: dv})
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].dv != cands[j].dv {
+					return cands[i].dv > cands[j].dv
+				}
+				return cands[i].s.ID < cands[j].s.ID
+			})
+			for _, c := range cands {
+				if budget <= 0 {
+					break
+				}
+				pay := math.Min(c.dv, budget)
+				q.Record(c.s.Pos, q.Theta(c.s), pay)
+				recorded[q][c.s.ID] = true
+				out.Contributions[c.s.ID] += pay
+				budget -= pay
+			}
+		}
+	}
+
+	for _, q := range active {
+		out.ValueGained += q.Value() - valueBefore[q.ID]
+	}
+	return out
+}
+
+// RunRegionMonitoringSlotBaseline is the §4.6 baseline: no cost weighting,
+// no sensor sharing, and the baseline point algorithm for the generated
+// point queries.
+func RunRegionMonitoringSlotBaseline(t int, queries []*query.RegionMonitoring, offers []Offer) *RegMonSlotResult {
+	return RunRegionMonitoringSlot(t, queries, offers, RegMonOptions{
+		Solver:        BaselinePoint(),
+		CostWeighting: false,
+		ShareSensors:  false,
+	})
+}
+
+// marginalRegionValue computes v_q(S ∪ {s}) - v_q(S) on the query's
+// accumulated observation state.
+func marginalRegionValue(q *query.RegionMonitoring, s *sensornet.Sensor) float64 {
+	afterPts := make([]geo.Point, 0, len(q.ObsPoints)+1)
+	afterPts = append(afterPts, q.ObsPoints...)
+	afterPts = append(afterPts, s.Pos)
+	afterThetas := make([]float64, 0, len(q.Thetas)+1)
+	afterThetas = append(afterThetas, q.Thetas...)
+	afterThetas = append(afterThetas, q.Theta(s))
+	return q.ValueOf(afterPts, afterThetas) - q.Value()
+}
+
+// selectSamplingPoints is Algorithm 4: greedy sampling-point selection for
+// a region monitoring query at time tc. It keeps one candidate observation
+// set per (subsampled) future time instant; each step adds the
+// (sensor, time) pair maximizing
+//
+//	delta_{s,t} = (F(S_t ∪ {s}) - F(S_t)) * theta_s * (t2 - t)/(t2 - t1)
+//
+// and charges the sensor's (weighted) cost against the budget; only
+// current-time selections are returned. The time-discount factor "is an
+// attempt to increase the chance of selecting sensors for the current
+// time" (§3.3). Marginal F evaluations use the incremental GP posterior.
+func selectSamplingPoints(q *query.RegionMonitoring, inRegion []Offer, costs []float64, budget float64, tc, maxTimes int) []int {
+	if len(inRegion) == 0 || budget <= 0 {
+		return nil
+	}
+	if maxTimes <= 0 {
+		maxTimes = 8
+	}
+	horizon := q.End - tc
+	times := []int{tc}
+	if horizon > 0 {
+		step := 1
+		if horizon+1 > maxTimes {
+			step = (horizon + maxTimes - 1) / maxTimes
+		}
+		for tm := tc + step; tm <= q.End; tm += step {
+			times = append(times, tm)
+		}
+	}
+
+	// Every time instant's tracker starts from the query's accumulated
+	// observations, so marginals measure genuinely new information. (The
+	// paper's pseudocode resets S_t to empty each slot; conditioning on
+	// q.S keeps a saturated query from re-buying what it already knows,
+	// which matches the intent of the budget control C-hat.)
+	base := q.Model.NewPosterior(q.Targets())
+	for _, p := range q.ObsPoints {
+		base.Add(p)
+	}
+	trackers := make([]*gp.Posterior, len(times))
+	for i := range trackers {
+		trackers[i] = base.Clone()
+	}
+	used := make([][]bool, len(times))
+	for i := range used {
+		used[i] = make([]bool, len(inRegion))
+	}
+	duration := float64(q.End - q.Start)
+	if duration <= 0 {
+		duration = 1
+	}
+
+	var currentSel []int
+	var spent float64
+	for iter := 0; iter < 200 && spent < budget; iter++ {
+		bestDelta := 1e-9
+		bestS, bestT := -1, -1
+		for ti, tm := range times {
+			timeFactor := float64(q.End-tm) / duration
+			if tm == tc {
+				// The current slot is never zero-weighted, even for queries
+				// ending this very slot.
+				timeFactor = math.Max(timeFactor, 1/duration)
+			}
+			if timeFactor <= 0 {
+				continue
+			}
+			for si, o := range inRegion {
+				if used[ti][si] {
+					continue
+				}
+				delta := trackers[ti].MarginalReduction(o.Sensor.Pos) * q.Theta(o.Sensor) * timeFactor
+				if delta > bestDelta {
+					bestDelta, bestS, bestT = delta, si, ti
+				}
+			}
+		}
+		if bestS < 0 {
+			break
+		}
+		trackers[bestT].Add(inRegion[bestS].Sensor.Pos)
+		used[bestT][bestS] = true
+		spent += costs[bestS]
+		if times[bestT] == tc {
+			currentSel = append(currentSel, bestS)
+		}
+	}
+	return currentSel
+}
+
+// sensorPositions extracts sensor positions.
+func sensorPositions(ss []*sensornet.Sensor) []geo.Point {
+	out := make([]geo.Point, len(ss))
+	for i, s := range ss {
+		out[i] = s.Pos
+	}
+	return out
+}

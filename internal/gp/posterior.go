@@ -1,0 +1,170 @@
+package gp
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Posterior incrementally tracks a GP posterior over a fixed target set as
+// observations are added one at a time. It exists because Algorithm 4
+// (sampling-point selection for region monitoring) needs many marginal
+// variance-reduction evaluations per slot; recomputing a full Cholesky per
+// candidate would be O(m^3) each, while this tracker answers marginals in
+// O(m * |targets|) using incremental Cholesky rows.
+//
+// Representation: for observations S with kernel matrix K_SS + noise*I =
+// L L^T, we store W[j][v] = (L^-1 K_S,targets)[j][v]. Then
+//
+//	postVar(v | S)   = k(v,v) - sum_j W[j][v]^2
+//	cov(v, s | S)    = k(v,s) - w_s . W[.][v]
+//	postVar(s | S)   = k(s,s) - |w_s|^2   (noise-free)
+//
+// and adding s appends one row to L and W.
+type Posterior struct {
+	gp      *GP
+	targets []geo.Point
+	obs     []geo.Point
+
+	prior   []float64   // prior variance per target
+	postVar []float64   // current posterior variance per target
+	l       [][]float64 // lower-triangular rows of chol(K_SS + noise I)
+	w       [][]float64 // W rows, one per observation
+}
+
+// NewPosterior starts tracking the posterior over the given targets with
+// no observations.
+func (g *GP) NewPosterior(targets []geo.Point) *Posterior {
+	p := &Posterior{
+		gp:      g,
+		targets: targets,
+		prior:   make([]float64, len(targets)),
+		postVar: make([]float64, len(targets)),
+	}
+	for i, t := range targets {
+		p.prior[i] = g.Kernel.Var(t)
+		p.postVar[i] = p.prior[i]
+	}
+	return p
+}
+
+// NumObs returns the number of committed observations.
+func (p *Posterior) NumObs() int { return len(p.obs) }
+
+// solveAgainst computes w_s = L^-1 k_S(s) for a candidate point.
+func (p *Posterior) solveAgainst(s geo.Point) []float64 {
+	m := len(p.obs)
+	ws := make([]float64, m)
+	for i := 0; i < m; i++ {
+		v := p.gp.Kernel.Cov(p.obs[i], s)
+		for j := 0; j < i; j++ {
+			v -= p.l[i][j] * ws[j]
+		}
+		ws[i] = v / p.l[i][i]
+	}
+	return ws
+}
+
+// candidate computes the pieces shared by Add and MarginalReduction:
+// w_s and the (noise-inflated) residual variance d of the candidate.
+func (p *Posterior) candidate(s geo.Point) (ws []float64, d float64) {
+	ws = p.solveAgainst(s)
+	d = p.gp.Kernel.Var(s) + p.gp.Noise
+	for _, w := range ws {
+		d -= w * w
+	}
+	return ws, d
+}
+
+// MarginalReduction returns the decrease in total posterior variance over
+// the targets if s were observed next:
+//
+//	sum_v cov(v, s | S)^2 / (postVar(s|S) + noise).
+//
+// It does not mutate the tracker. Returns 0 for numerically redundant
+// candidates (e.g. duplicate locations).
+func (p *Posterior) MarginalReduction(s geo.Point) float64 {
+	ws, d := p.candidate(s)
+	if d <= 1e-12 {
+		return 0
+	}
+	var sum float64
+	for vi, t := range p.targets {
+		c := p.gp.Kernel.Cov(t, s)
+		for j, w := range ws {
+			c -= w * p.w[j][vi]
+		}
+		sum += c * c / d
+	}
+	return sum
+}
+
+// Add commits an observation at s, updating the posterior in
+// O(m * |targets|). Numerically redundant observations are absorbed as
+// no-ops (reduction 0) rather than corrupting the factorization.
+func (p *Posterior) Add(s geo.Point) {
+	ws, d := p.candidate(s)
+	if d <= 1e-12 {
+		return
+	}
+	root := math.Sqrt(d)
+	newW := make([]float64, len(p.targets))
+	for vi, t := range p.targets {
+		c := p.gp.Kernel.Cov(t, s)
+		for j, w := range ws {
+			c -= w * p.w[j][vi]
+		}
+		newW[vi] = c / root
+		p.postVar[vi] -= newW[vi] * newW[vi]
+		if p.postVar[vi] < 0 {
+			p.postVar[vi] = 0
+		}
+	}
+	p.l = append(p.l, append(ws, root))
+	p.w = append(p.w, newW)
+	p.obs = append(p.obs, s)
+}
+
+// TotalReduction returns F(S): total prior variance minus total posterior
+// variance over the targets (Eq. 6).
+func (p *Posterior) TotalReduction() float64 {
+	var sum float64
+	for i := range p.targets {
+		sum += p.prior[i] - p.postVar[i]
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}
+
+// TotalPrior returns the total prior variance over the targets.
+func (p *Posterior) TotalPrior() float64 {
+	var sum float64
+	for _, v := range p.prior {
+		sum += v
+	}
+	return sum
+}
+
+// Clone returns an independent copy of the tracker, so branch-and-bound or
+// per-time-instance selections (Algorithm 4 keeps one set per future time
+// slot) can diverge cheaply.
+func (p *Posterior) Clone() *Posterior {
+	cp := &Posterior{
+		gp:      p.gp,
+		targets: p.targets,
+		obs:     append([]geo.Point(nil), p.obs...),
+		prior:   p.prior,
+		postVar: append([]float64(nil), p.postVar...),
+	}
+	cp.l = make([][]float64, len(p.l))
+	for i, row := range p.l {
+		cp.l[i] = append([]float64(nil), row...)
+	}
+	cp.w = make([][]float64, len(p.w))
+	for i, row := range p.w {
+		cp.w[i] = append([]float64(nil), row...)
+	}
+	return cp
+}

@@ -1,0 +1,129 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// TestPosteriorMatchesDirect verifies the incremental tracker against the
+// direct Cholesky computation in PosteriorVariances.
+func TestPosteriorMatchesDirect(t *testing.T) {
+	g := New(SquaredExponential{Sigma2: 3, Length: 2.5}, 0.05)
+	grid := geo.NewUnitGrid(8, 8)
+	targets := grid.CellsIn(geo.NewRect(0, 0, 8, 8))
+	s := rng.New(42, "posterior")
+
+	p := g.NewPosterior(targets)
+	var obs []geo.Point
+	for step := 0; step < 8; step++ {
+		pt := geo.Pt(s.Uniform(0, 8), s.Uniform(0, 8))
+		p.Add(pt)
+		obs = append(obs, pt)
+
+		direct, err := g.PosteriorVariances(targets, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var directTotal float64
+		for i, d := range direct {
+			directTotal += g.Kernel.Var(targets[i]) - d
+		}
+		if math.Abs(directTotal-p.TotalReduction()) > 1e-6 {
+			t.Fatalf("step %d: incremental %v != direct %v", step, p.TotalReduction(), directTotal)
+		}
+	}
+}
+
+// TestMarginalReductionMatchesAdd: the marginal promised before Add must
+// equal the realized change in TotalReduction.
+func TestMarginalReductionMatchesAdd(t *testing.T) {
+	g := New(SquaredExponential{Sigma2: 2, Length: 3}, 0.1)
+	targets := geo.NewUnitGrid(6, 6).CellsIn(geo.NewRect(0, 0, 6, 6))
+	s := rng.New(7, "marginal")
+	p := g.NewPosterior(targets)
+	for step := 0; step < 10; step++ {
+		pt := geo.Pt(s.Uniform(0, 6), s.Uniform(0, 6))
+		promised := p.MarginalReduction(pt)
+		before := p.TotalReduction()
+		p.Add(pt)
+		realized := p.TotalReduction() - before
+		if math.Abs(promised-realized) > 1e-6 {
+			t.Fatalf("step %d: promised %v realized %v", step, promised, realized)
+		}
+	}
+}
+
+func TestPosteriorDuplicateObservationIsNoop(t *testing.T) {
+	g := New(SquaredExponential{Sigma2: 1, Length: 2}, 1e-9)
+	targets := geo.NewUnitGrid(4, 4).CellsIn(geo.NewRect(0, 0, 4, 4))
+	p := g.NewPosterior(targets)
+	pt := geo.Pt(2, 2)
+	p.Add(pt)
+	before := p.TotalReduction()
+	nBefore := p.NumObs()
+	// Adding the same point with negligible noise is numerically redundant.
+	p.Add(pt)
+	if p.NumObs() > nBefore+1 {
+		t.Errorf("obs count grew unexpectedly: %d", p.NumObs())
+	}
+	after := p.TotalReduction()
+	if after < before-1e-9 {
+		t.Errorf("duplicate add decreased reduction: %v -> %v", before, after)
+	}
+	if m := p.MarginalReduction(pt); m > 1e-6 {
+		t.Errorf("duplicate marginal = %v want ~0", m)
+	}
+}
+
+func TestPosteriorCloneIndependent(t *testing.T) {
+	g := New(SquaredExponential{Sigma2: 1, Length: 2}, 0.05)
+	targets := geo.NewUnitGrid(5, 5).CellsIn(geo.NewRect(0, 0, 5, 5))
+	p := g.NewPosterior(targets)
+	p.Add(geo.Pt(1, 1))
+	c := p.Clone()
+	c.Add(geo.Pt(3, 3))
+	if p.NumObs() != 1 || c.NumObs() != 2 {
+		t.Fatalf("obs counts: p=%d c=%d", p.NumObs(), c.NumObs())
+	}
+	if c.TotalReduction() <= p.TotalReduction() {
+		t.Error("clone with extra obs should have larger reduction")
+	}
+	// Original still consistent with direct computation.
+	direct, _ := g.PosteriorVariances(targets, []geo.Point{geo.Pt(1, 1)})
+	var want float64
+	for i, d := range direct {
+		want += g.Kernel.Var(targets[i]) - d
+	}
+	if math.Abs(p.TotalReduction()-want) > 1e-6 {
+		t.Error("clone mutated original")
+	}
+}
+
+func TestPosteriorTotalPrior(t *testing.T) {
+	g := New(SquaredExponential{Sigma2: 2, Length: 1}, 0.1)
+	targets := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 1), geo.Pt(2, 2)}
+	p := g.NewPosterior(targets)
+	if got := p.TotalPrior(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("TotalPrior=%v want 6", got)
+	}
+	if p.TotalReduction() != 0 {
+		t.Error("no-observation reduction must be 0")
+	}
+}
+
+func BenchmarkPosteriorMarginal(b *testing.B) {
+	g := New(SquaredExponential{Sigma2: 2, Length: 3}, 0.05)
+	targets := geo.NewUnitGrid(10, 8).CellsIn(geo.NewRect(0, 0, 10, 8))
+	p := g.NewPosterior(targets)
+	s := rng.New(3, "bench")
+	for i := 0; i < 10; i++ {
+		p.Add(geo.Pt(s.Uniform(0, 10), s.Uniform(0, 8)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MarginalReduction(geo.Pt(5, 4))
+	}
+}

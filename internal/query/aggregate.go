@@ -1,0 +1,218 @@
+package query
+
+import (
+	"repro/internal/geo"
+	"repro/internal/sensornet"
+)
+
+// Aggregate is a spatial aggregate query (§2.2.2): the issuer wants an
+// aggregate (avg/min/max) of a phenomenon over a region. Its valuation is
+// Eq. 5:
+//
+//	v_q(S) = B_q * G_q(S) * (sum_s theta_s) / |S|
+//
+// where G_q is the fraction of the region covered by the sensors'
+// sensing disks and theta_s is the reading quality of Eq. 4 relative to
+// the sensor's own position inside the region (distance term vanishes, so
+// theta_s = (1-gamma_s)*tau_s for in-range sensors).
+type Aggregate struct {
+	ID     string
+	Region geo.Rect
+	B      float64
+	// SensingRange is the coverage radius of a sensor reading (10 units in
+	// the evaluation).
+	SensingRange float64
+	// Grid discretizes coverage computation.
+	Grid geo.Grid
+	// MaxDist is how far outside the region a sensor may sit while still
+	// contributing coverage; sensors farther than this are irrelevant.
+	MaxDist float64
+}
+
+// NewAggregate builds a spatial aggregate query over region.
+func NewAggregate(id string, region geo.Rect, budget, sensingRange float64, grid geo.Grid) *Aggregate {
+	return &Aggregate{
+		ID:           id,
+		Region:       region,
+		B:            budget,
+		SensingRange: sensingRange,
+		Grid:         grid,
+		MaxDist:      sensingRange,
+	}
+}
+
+// QID implements Query.
+func (a *Aggregate) QID() string { return a.ID }
+
+// Budget implements Query.
+func (a *Aggregate) Budget() float64 { return a.B }
+
+// Relevant implements Query: a sensor can contribute iff its sensing disk
+// reaches the region.
+func (a *Aggregate) Relevant(s *sensornet.Sensor) bool {
+	return a.Region.DistToPoint(s.Pos) <= a.MaxDist
+}
+
+// theta is the reading quality of a sensor for the aggregate: inaccuracy
+// and trust matter; the distance term of Eq. 4 is 1 because the sensor
+// measures at its own location inside (or at the edge of) the region.
+func (a *Aggregate) theta(s *sensornet.Sensor) float64 {
+	return (1 - s.Inaccuracy) * s.Trust
+}
+
+// NewState implements Query. The state keeps a covered-cells bitmap so
+// marginal coverage is O(region cells) instead of O(cells * |S|).
+func (a *Aggregate) NewState() State {
+	cells := a.Grid.CellsIn(a.Region)
+	return &aggregateState{q: a, cells: cells, covered: make([]bool, len(cells))}
+}
+
+type aggregateState struct {
+	baseState
+	q          *Aggregate
+	cells      []geo.Point
+	covered    []bool
+	coveredCnt int
+	sumTheta   float64
+	n          int
+}
+
+func (st *aggregateState) Query() Query { return st.q }
+
+func (st *aggregateState) value(coveredCnt int, sumTheta float64, n int) float64 {
+	if n == 0 || len(st.cells) == 0 {
+		return 0
+	}
+	g := float64(coveredCnt) / float64(len(st.cells))
+	return st.q.B * g * sumTheta / float64(n)
+}
+
+func (st *aggregateState) Value() float64 {
+	return st.value(st.coveredCnt, st.sumTheta, st.n)
+}
+
+func (st *aggregateState) newlyCovered(s *sensornet.Sensor) int {
+	r2 := st.q.SensingRange * st.q.SensingRange
+	cnt := 0
+	for i, c := range st.cells {
+		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func (st *aggregateState) Gain(s *sensornet.Sensor) float64 {
+	nc := st.newlyCovered(s)
+	after := st.value(st.coveredCnt+nc, st.sumTheta+st.q.theta(s), st.n+1)
+	return after - st.Value()
+}
+
+func (st *aggregateState) Add(s *sensornet.Sensor) {
+	r2 := st.q.SensingRange * st.q.SensingRange
+	for i, c := range st.cells {
+		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
+			st.covered[i] = true
+			st.coveredCnt++
+		}
+	}
+	st.sumTheta += st.q.theta(s)
+	st.n++
+	st.record(s)
+}
+
+// Trajectory is a query over a trajectory (§2.2.3), "a special case of
+// spatial aggregate query in which instead of providing a region of
+// interest, a trajectory is specified". Coverage is the fraction of the
+// trajectory's sample points within sensing range of a selected sensor.
+type Trajectory struct {
+	ID           string
+	Path         geo.Trajectory
+	B            float64
+	SensingRange float64
+	// SampleStep is the spacing of coverage sample points along the path.
+	SampleStep float64
+
+	samples []geo.Point
+}
+
+// NewTrajectory builds a trajectory query.
+func NewTrajectory(id string, path geo.Trajectory, budget, sensingRange float64) *Trajectory {
+	t := &Trajectory{ID: id, Path: path, B: budget, SensingRange: sensingRange, SampleStep: 1}
+	t.samples = path.SamplePoints(t.SampleStep)
+	return t
+}
+
+// QID implements Query.
+func (t *Trajectory) QID() string { return t.ID }
+
+// Budget implements Query.
+func (t *Trajectory) Budget() float64 { return t.B }
+
+// Relevant implements Query.
+func (t *Trajectory) Relevant(s *sensornet.Sensor) bool {
+	r2 := t.SensingRange * t.SensingRange
+	for _, p := range t.samples {
+		if p.Dist2(s.Pos) <= r2 {
+			return true
+		}
+	}
+	return false
+}
+
+// NewState implements Query; the valuation mirrors Eq. 5 with polyline
+// coverage.
+func (t *Trajectory) NewState() State {
+	return &trajectoryState{q: t, covered: make([]bool, len(t.samples))}
+}
+
+type trajectoryState struct {
+	baseState
+	q          *Trajectory
+	covered    []bool
+	coveredCnt int
+	sumTheta   float64
+	n          int
+}
+
+func (st *trajectoryState) Query() Query { return st.q }
+
+func (st *trajectoryState) theta(s *sensornet.Sensor) float64 {
+	return (1 - s.Inaccuracy) * s.Trust
+}
+
+func (st *trajectoryState) value(coveredCnt int, sumTheta float64, n int) float64 {
+	if n == 0 || len(st.q.samples) == 0 {
+		return 0
+	}
+	g := float64(coveredCnt) / float64(len(st.q.samples))
+	return st.q.B * g * sumTheta / float64(n)
+}
+
+func (st *trajectoryState) Value() float64 {
+	return st.value(st.coveredCnt, st.sumTheta, st.n)
+}
+
+func (st *trajectoryState) Gain(s *sensornet.Sensor) float64 {
+	r2 := st.q.SensingRange * st.q.SensingRange
+	nc := 0
+	for i, c := range st.q.samples {
+		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
+			nc++
+		}
+	}
+	return st.value(st.coveredCnt+nc, st.sumTheta+st.theta(s), st.n+1) - st.Value()
+}
+
+func (st *trajectoryState) Add(s *sensornet.Sensor) {
+	r2 := st.q.SensingRange * st.q.SensingRange
+	for i, c := range st.q.samples {
+		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
+			st.covered[i] = true
+			st.coveredCnt++
+		}
+	}
+	st.sumTheta += st.theta(s)
+	st.n++
+	st.record(s)
+}

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gp"
+	"repro/internal/regression"
+)
+
+// Accessor and edge-case coverage that the behavioural tests above do not
+// reach through interfaces.
+
+func TestAccessors(t *testing.T) {
+	p := NewPoint("p1", geo.Pt(1, 2), 10, 5)
+	if p.QID() != "p1" || p.Budget() != 10 {
+		t.Error("Point accessors")
+	}
+	mp := NewMultiPoint("mp1", geo.Pt(1, 2), 10, 5, 2)
+	if mp.QID() != "mp1" || mp.Budget() != 10 {
+		t.Error("MultiPoint accessors")
+	}
+	if !mp.Relevant(sensorAt(1, 1, 2)) || mp.Relevant(sensorAt(2, 50, 50)) {
+		t.Error("MultiPoint relevance")
+	}
+	st := mp.NewState()
+	if st.Query() != Query(mp) {
+		t.Error("MultiPoint state query identity")
+	}
+	// Low-quality sensor contributes zero theta.
+	far := sensorAt(3, 5.2, 2) // distance 4.2 of dmax 5 -> theta 0.16 < 0.2
+	if g := st.Gain(far); g != 0 {
+		t.Errorf("below-threshold multipoint gain = %v", g)
+	}
+	st.Add(far)
+	if st.Value() != 0 {
+		t.Error("below-threshold sensor contributed value")
+	}
+
+	g := geo.NewUnitGrid(50, 50)
+	a := NewAggregate("a1", geo.NewRect(0, 0, 10, 10), 30, 5, g)
+	if a.QID() != "a1" || a.Budget() != 30 {
+		t.Error("Aggregate accessors")
+	}
+	if a.NewState().Query() != Query(a) {
+		t.Error("Aggregate state query identity")
+	}
+}
+
+func TestLocationMonitoringNoHistoryInWindowFallback(t *testing.T) {
+	// History entirely outside the query window: evenly spaced fallback.
+	hist, _ := regression.NewSeries([]float64{100, 101, 102, 103}, []float64{1, 2, 3, 4})
+	q := NewLocationMonitoring("lm", geo.Pt(0, 0), 0, 9, 50, 5, hist, 4)
+	if len(q.Desired) == 0 {
+		t.Fatal("fallback produced no desired times")
+	}
+	for _, d := range q.Desired {
+		if d < 0 || d > 9 {
+			t.Errorf("fallback desired time %v outside window", d)
+		}
+	}
+	// More samples than slots clamps.
+	q2 := NewLocationMonitoring("lm2", geo.Pt(0, 0), 0, 2, 50, 5, hist, 10)
+	if len(q2.Desired) > 3 {
+		t.Errorf("desired times %d exceed window size", len(q2.Desired))
+	}
+}
+
+func TestCreatePointQueryBaselineBranches(t *testing.T) {
+	hist, _ := regression.NewSeries(
+		[]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		[]float64{5, 7, 6, 9, 8, 11, 10, 13, 12, 15})
+	q := NewLocationMonitoring("lm", geo.Pt(0, 0), 0, 9, 100, 5, hist, 3)
+	if len(q.Desired) == 0 {
+		t.Fatal("no desired times")
+	}
+	// Non-desired slot: no baseline query.
+	nonDesired := -1
+	for s := 0; s <= 9; s++ {
+		if !q.isDesired(s) {
+			nonDesired = s
+			break
+		}
+	}
+	if nonDesired >= 0 {
+		if _, ok := q.CreatePointQueryBaseline(nonDesired); ok && nonDesired != 0 {
+			t.Error("baseline created a query off-schedule")
+		}
+	}
+	// Desired slot: query created with positive budget.
+	d0 := int(q.Desired[0])
+	p, ok := q.CreatePointQueryBaseline(d0)
+	if !ok || p.Budget() <= 0 {
+		t.Fatalf("baseline desired-slot query: ok=%v", ok)
+	}
+	if p.Loc != q.Loc {
+		t.Error("baseline query at wrong location")
+	}
+}
+
+func TestLocationMonitoringQualityZeroBudget(t *testing.T) {
+	hist, _ := regression.NewSeries([]float64{0, 1, 2}, []float64{1, 2, 3})
+	q := NewLocationMonitoring("lm", geo.Pt(0, 0), 0, 2, 0, 5, hist, 2)
+	if q.Quality() != 0 {
+		t.Error("zero-budget quality != 0")
+	}
+}
+
+func TestRegionMonitoringThetaAndPlanValue(t *testing.T) {
+	grid := geo.NewUnitGrid(20, 15)
+	model := gp.New(gp.SquaredExponential{Sigma2: 4, Length: 3}, 0.1)
+	q := NewRegionMonitoring("rm", geo.NewRect(2, 2, 10, 8), 0, 10, 100, model, grid)
+
+	s := sensorAt(1, 5, 5)
+	s.Inaccuracy = 0.1
+	s.Trust = 0.8
+	if got := q.Theta(s); math.Abs(got-0.72) > 1e-12 {
+		t.Errorf("Theta = %v want 0.72", got)
+	}
+
+	// PlanValue with no accumulated state equals ValueOf.
+	pts := []geo.Point{geo.Pt(4, 4), geo.Pt(7, 6)}
+	thetas := []float64{0.9, 0.8}
+	if a, b := q.PlanValue(pts, thetas), q.ValueOf(pts, thetas); math.Abs(a-b) > 1e-9 {
+		t.Errorf("PlanValue %v != ValueOf %v on empty state", a, b)
+	}
+
+	// After recording, PlanValue of an empty plan equals current Value.
+	q.ResetIfNeeded(0)
+	q.Record(geo.Pt(4, 4), 0.9, 5)
+	if a, b := q.PlanValue(nil, nil), q.Value(); math.Abs(a-b) > 1e-9 {
+		t.Errorf("PlanValue(nil) %v != Value %v", a, b)
+	}
+
+	// Marginal through PlanValue diminishes with accumulated state
+	// (submodularity of F carries through Eq. 7's numerator).
+	freshGain := q.ValueOf([]geo.Point{geo.Pt(4.2, 4.2)}, []float64{0.9})
+	condGain := q.PlanValue([]geo.Point{geo.Pt(4.2, 4.2)}, []float64{0.9}) - q.Value()
+	if condGain > freshGain+1e-9 {
+		t.Errorf("conditioned gain %v exceeds fresh gain %v", condGain, freshGain)
+	}
+
+	// Zero-budget region query quality is 0.
+	q0 := NewRegionMonitoring("rm0", geo.NewRect(2, 2, 4, 4), 0, 5, 0, model, grid)
+	if q0.Quality() != 0 {
+		t.Error("zero-budget region quality != 0")
+	}
+}
+
+func TestDetectionConfidenceClampsInputs(t *testing.T) {
+	e := NewEventDetection("e", geo.Pt(0, 0), 0, 5, 10, 0.9, 10, 5)
+	// Out-of-range qualities clamp instead of producing nonsense.
+	c := e.DetectionConfidence([]float64{-0.5, 1.5})
+	if c != 1 {
+		t.Errorf("clamped confidence = %v want 1 (theta 1.5 -> 1)", c)
+	}
+	if got := e.DetectionConfidence(nil); got != 0 {
+		t.Errorf("empty confidence = %v", got)
+	}
+}
+
+func TestMaxIntHelper(t *testing.T) {
+	if maxInt(3, 5) != 5 || maxInt(5, 3) != 5 || maxInt(-1, -2) != -1 {
+		t.Error("maxInt broken")
+	}
+}

@@ -1,0 +1,134 @@
+package query
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// EventDetection is the continuous event-detection query of §2.3 (queries
+// Q3/Q4): "notify me when phenomenon > x with confidence > alpha at
+// location l in [t1, t2]". The paper does not evaluate this type but notes
+// that "the main difference is that redundant sampling might be needed to
+// ensure the confidence requested by the queries" — this implementation is
+// that extension.
+//
+// Each active slot the query materializes a MultiPoint query asking for
+// enough redundant readings that the combined confidence can reach the
+// requested level; after acquisition, Evaluate fuses the readings.
+type EventDetection struct {
+	ID    string
+	Loc   geo.Point
+	Start int
+	End   int
+	// Threshold is x: an event is a phenomenon value above it.
+	Threshold float64
+	// Confidence is alpha, the required detection confidence in (0,1).
+	Confidence float64
+	// BudgetPerSlot bounds the per-slot spend.
+	BudgetPerSlot float64
+	DMax          float64
+	// ExpectedTheta is the planning estimate of one reading's quality.
+	ExpectedTheta float64
+}
+
+// NewEventDetection builds an event-detection query.
+func NewEventDetection(id string, loc geo.Point, start, end int, threshold, confidence, budgetPerSlot, dmax float64) *EventDetection {
+	if confidence <= 0 {
+		confidence = 0.9
+	}
+	if confidence >= 1 {
+		confidence = 0.999
+	}
+	return &EventDetection{
+		ID:            id,
+		Loc:           loc,
+		Start:         start,
+		End:           end,
+		Threshold:     threshold,
+		Confidence:    confidence,
+		BudgetPerSlot: budgetPerSlot,
+		DMax:          dmax,
+		ExpectedTheta: 0.7,
+	}
+}
+
+// Active reports whether the query runs during slot t.
+func (e *EventDetection) Active(t int) bool { return t >= e.Start && t <= e.End }
+
+// RequiredReadings returns the smallest number of independent readings of
+// quality theta whose fused confidence 1-(1-theta)^k reaches the requested
+// level, capped at 5 to bound per-slot cost.
+func (e *EventDetection) RequiredReadings(theta float64) int {
+	if theta <= 0 {
+		return 1
+	}
+	if theta >= 1 {
+		return 1
+	}
+	k := int(math.Ceil(math.Log(1-e.Confidence) / math.Log(1-theta)))
+	if k < 1 {
+		k = 1
+	}
+	if k > 5 {
+		k = 5
+	}
+	return k
+}
+
+// CreatePointQuery materializes this slot's redundant-sampling MultiPoint
+// query (the event-detection analogue of Algorithm 2's point-query
+// generation).
+func (e *EventDetection) CreatePointQuery(t int) (*MultiPoint, bool) {
+	if !e.Active(t) {
+		return nil, false
+	}
+	k := e.RequiredReadings(e.ExpectedTheta)
+	return NewMultiPoint(PointID(e.ID, t, "ev"), e.Loc, e.BudgetPerSlot, e.DMax, k), true
+}
+
+// DetectionConfidence fuses reading qualities into the probability that at
+// least one reading is informative: 1 - prod(1 - theta_i). Treating each
+// reading's quality as its probability of being correct is the standard
+// independent-witness fusion model.
+func (e *EventDetection) DetectionConfidence(thetas []float64) float64 {
+	miss := 1.0
+	for _, t := range thetas {
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		miss *= 1 - t
+	}
+	return 1 - miss
+}
+
+// Evaluate fuses readings (values with matching qualities) and reports
+// whether an above-threshold event is detected with sufficient confidence.
+// Readings vote weighted by quality; the event fires when the
+// quality-weighted majority is above threshold and the fused confidence
+// meets the requested level.
+func (e *EventDetection) Evaluate(values, thetas []float64) (detected bool, confidence float64) {
+	if len(values) == 0 || len(values) != len(thetas) {
+		return false, 0
+	}
+	confidence = e.DetectionConfidence(thetas)
+	var above, total float64
+	for i, v := range values {
+		w := thetas[i]
+		if w <= 0 {
+			continue
+		}
+		total += w
+		if v > e.Threshold {
+			above += w
+		}
+	}
+	if total == 0 {
+		return false, 0
+	}
+	detected = above/total > 0.5 && confidence >= e.Confidence
+	return detected, confidence
+}

@@ -1,0 +1,187 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/sensornet"
+)
+
+// Point is a single-sensor point query (§2.2.1): "the value of a
+// phenomenon at a certain location", answered by one sensor reading. Its
+// valuation is Eq. 3:
+//
+//	v_q(s) = B_q * theta_{q,s}   if theta_min <= theta_{q,s} <= 1
+//	v_q(s) = 0                   otherwise
+//
+// with theta from Eq. 4 (distance, inaccuracy, trust).
+type Point struct {
+	ID  string
+	Loc geo.Point
+	// B is the query budget B_q.
+	B float64
+	// ThetaMin is the minimum acceptable quality (0.2 in the evaluation).
+	ThetaMin float64
+	// DMax is the maximum distance at which sensors can provide data
+	// (5 for RWM, 10 for RNC in the evaluation).
+	DMax float64
+}
+
+// NewPoint builds a point query with the evaluation defaults for
+// theta_min (0.2).
+func NewPoint(id string, loc geo.Point, budget, dmax float64) *Point {
+	return &Point{ID: id, Loc: loc, B: budget, ThetaMin: 0.2, DMax: dmax}
+}
+
+// QID implements Query.
+func (p *Point) QID() string { return p.ID }
+
+// Budget implements Query.
+func (p *Point) Budget() float64 { return p.B }
+
+// Theta returns the reading quality theta_{q,s} of Eq. 4 for sensor s.
+func (p *Point) Theta(s *sensornet.Sensor) float64 { return s.Quality(p.Loc, p.DMax) }
+
+// ValueSingle returns v_q(s) of Eq. 3 for a single sensor.
+func (p *Point) ValueSingle(s *sensornet.Sensor) float64 {
+	theta := p.Theta(s)
+	if theta < p.ThetaMin {
+		return 0
+	}
+	return p.B * theta
+}
+
+// Relevant implements Query.
+func (p *Point) Relevant(s *sensornet.Sensor) bool {
+	return p.ValueSingle(s) > 0
+}
+
+// NewState implements Query. As a set valuation a point query is worth the
+// best of its sensors: v_q(S) = max_{s in S} v_q(s).
+func (p *Point) NewState() State { return &pointState{q: p} }
+
+type pointState struct {
+	baseState
+	q    *Point
+	best float64
+}
+
+func (st *pointState) Query() Query   { return st.q }
+func (st *pointState) Value() float64 { return st.best }
+
+func (st *pointState) Gain(s *sensornet.Sensor) float64 {
+	v := st.q.ValueSingle(s)
+	return v - st.best
+}
+
+func (st *pointState) Add(s *sensornet.Sensor) {
+	if v := st.q.ValueSingle(s); v > st.best {
+		st.best = v
+	}
+	st.record(s)
+}
+
+// MultiPoint is a multiple-sensor point query (§2.2.1): it asks for up to K
+// redundant readings at one location, e.g. to assess trustworthiness. Its
+// valuation averages the K best reading qualities:
+//
+//	v_q(S) = B_q * (sum of top-K theta_{q,s}) / K,
+//
+// which is submodular and rewards redundancy with diminishing returns.
+type MultiPoint struct {
+	ID       string
+	Loc      geo.Point
+	B        float64
+	ThetaMin float64
+	DMax     float64
+	K        int
+}
+
+// NewMultiPoint builds a multiple-sensor point query asking for k readings.
+func NewMultiPoint(id string, loc geo.Point, budget, dmax float64, k int) *MultiPoint {
+	if k < 1 {
+		k = 1
+	}
+	return &MultiPoint{ID: id, Loc: loc, B: budget, ThetaMin: 0.2, DMax: dmax, K: k}
+}
+
+// QID implements Query.
+func (m *MultiPoint) QID() string { return m.ID }
+
+// Budget implements Query.
+func (m *MultiPoint) Budget() float64 { return m.B }
+
+// Relevant implements Query.
+func (m *MultiPoint) Relevant(s *sensornet.Sensor) bool {
+	return s.Quality(m.Loc, m.DMax) >= m.ThetaMin
+}
+
+// NewState implements Query.
+func (m *MultiPoint) NewState() State {
+	return &multiPointState{q: m, top: make([]float64, 0, m.K)}
+}
+
+type multiPointState struct {
+	baseState
+	q   *MultiPoint
+	top []float64 // qualities of the best readings so far, ascending, len <= K
+}
+
+func (st *multiPointState) Query() Query { return st.q }
+
+func (st *multiPointState) Value() float64 {
+	var sum float64
+	for _, t := range st.top {
+		sum += t
+	}
+	return st.q.B * sum / float64(st.q.K)
+}
+
+func (st *multiPointState) theta(s *sensornet.Sensor) float64 {
+	t := s.Quality(st.q.Loc, st.q.DMax)
+	if t < st.q.ThetaMin {
+		return 0
+	}
+	return t
+}
+
+func (st *multiPointState) Gain(s *sensornet.Sensor) float64 {
+	t := st.theta(s)
+	if t == 0 {
+		return 0
+	}
+	if len(st.top) < st.q.K {
+		return st.q.B * t / float64(st.q.K)
+	}
+	if t > st.top[0] {
+		return st.q.B * (t - st.top[0]) / float64(st.q.K)
+	}
+	return 0
+}
+
+func (st *multiPointState) Add(s *sensornet.Sensor) {
+	t := st.theta(s)
+	if t > 0 {
+		if len(st.top) < st.q.K {
+			st.top = append(st.top, t)
+		} else if t > st.top[0] {
+			st.top[0] = t
+		}
+		// Keep ascending order; K is small so insertion sort suffices.
+		for i := 1; i < len(st.top); i++ {
+			for j := i; j > 0 && st.top[j] < st.top[j-1]; j-- {
+				st.top[j], st.top[j-1] = st.top[j-1], st.top[j]
+			}
+		}
+	}
+	st.record(s)
+}
+
+// PointID formats the conventional identifier for machine-generated point
+// queries (from monitoring queries), keeping payment traces readable.
+func PointID(parent string, slot int, extra string) string {
+	if extra == "" {
+		return fmt.Sprintf("%s@t%d", parent, slot)
+	}
+	return fmt.Sprintf("%s@t%d/%s", parent, slot, extra)
+}

@@ -1,0 +1,70 @@
+// Package query implements the query taxonomy of the paper (Fig. 1) and the
+// valuation functions of §2.2-§2.3:
+//
+//   - Point queries (single-sensor, Eq. 3, and multiple-sensor)
+//   - Spatial aggregate queries (Eq. 5, coverage-weighted quality)
+//   - Queries over trajectories (§2.2.3, aggregate over a polyline)
+//   - Location monitoring queries (Eqs. 16-17, regression-residual quality)
+//   - Region monitoring queries (Eq. 7, GP variance-reduction quality)
+//   - Event-detection queries (§2.3, implemented as the redundant-sampling
+//     extension the paper leaves as future work)
+//
+// Valuation functions are black boxes to the acquisition algorithms
+// (§3.2): every query exposes Value(S) over sensor sets plus an
+// incremental State so the greedy algorithm can compute marginal gains in
+// O(work of one sensor) instead of re-evaluating whole sets.
+package query
+
+import (
+	"repro/internal/sensornet"
+)
+
+// Query is the common behaviour of all query types.
+type Query interface {
+	// QID is a unique identifier used for payments and metrics.
+	QID() string
+	// Budget returns B_q, the maximum the issuer is willing to pay.
+	Budget() float64
+	// Relevant reports whether sensor s can possibly contribute value;
+	// it is a cheap spatial prefilter (the Q_{l_s} of Algorithm 1).
+	Relevant(s *sensornet.Sensor) bool
+	// NewState creates empty incremental valuation state for one run of a
+	// selection algorithm.
+	NewState() State
+}
+
+// State is the mutable valuation state of one query during sensor
+// selection: the set S_q selected so far and its value v_q(S_q).
+type State interface {
+	// Query returns the owning query.
+	Query() Query
+	// Value returns v_q(S_q) for the currently added sensors.
+	Value() float64
+	// Gain returns the marginal value v_q(S_q ∪ {s}) − v_q(S_q) without
+	// mutating the state. It may be negative or zero.
+	Gain(s *sensornet.Sensor) float64
+	// Add commits sensor s to S_q.
+	Add(s *sensornet.Sensor)
+	// Sensors returns the committed set S_q.
+	Sensors() []*sensornet.Sensor
+}
+
+// Value evaluates a query's valuation on an arbitrary sensor set by
+// replaying it through a fresh state. This is v_q(S) used by definitions
+// such as Eq. 13.
+func Value(q Query, sensors []*sensornet.Sensor) float64 {
+	st := q.NewState()
+	for _, s := range sensors {
+		st.Add(s)
+	}
+	return st.Value()
+}
+
+// baseState provides the Sensors bookkeeping shared by all states.
+type baseState struct {
+	sensors []*sensornet.Sensor
+}
+
+func (b *baseState) Sensors() []*sensornet.Sensor { return b.sensors }
+
+func (b *baseState) record(s *sensornet.Sensor) { b.sensors = append(b.sensors, s) }

@@ -1,0 +1,62 @@
+package sensornet
+
+import (
+	"repro/internal/geo"
+	"repro/internal/mobility"
+)
+
+// Fleet couples a set of sensors with a mobility model and exposes the
+// per-slot view the aggregator works with: which sensors are available in
+// the working region, where they are, and what they charge. "At the
+// beginning of each time slot [sensors] announce their location and price
+// of providing a measurement at that location" (§2.1).
+type Fleet struct {
+	Sensors []*Sensor
+	Model   mobility.Model
+	// WorkingRegion bounds the aggregator's attention: only sensors inside
+	// it are offered to queries (§4.2's "working region" / hotspot).
+	WorkingRegion geo.Rect
+
+	slot int
+}
+
+// NewFleet builds a fleet; len(sensors) must equal model.N().
+func NewFleet(sensors []*Sensor, model mobility.Model, working geo.Rect) *Fleet {
+	if len(sensors) != model.N() {
+		panic("sensornet: sensor count does not match mobility model")
+	}
+	return &Fleet{Sensors: sensors, Model: model, WorkingRegion: working, slot: -1}
+}
+
+// Offer is one sensor's per-slot announcement: identity, position, price.
+type Offer struct {
+	Sensor *Sensor
+	Cost   float64
+}
+
+// Slot returns the current slot number (-1 before the first Step).
+func (f *Fleet) Slot() int { return f.slot }
+
+// Step advances the fleet one time slot: moves every sensor and returns
+// the offers of the alive sensors currently inside the working region.
+func (f *Fleet) Step() []Offer {
+	f.slot++
+	positions := f.Model.Step()
+	var offers []Offer
+	for i, s := range f.Sensors {
+		s.Pos = positions[i]
+		if !s.Alive() || !f.WorkingRegion.Contains(s.Pos) {
+			continue
+		}
+		offers = append(offers, Offer{Sensor: s, Cost: s.Cost(f.slot)})
+	}
+	return offers
+}
+
+// Commit records that the given sensors provided a measurement in the
+// current slot, consuming lifetime and growing privacy histories.
+func (f *Fleet) Commit(selected []*Sensor) {
+	for _, s := range selected {
+		s.RecordReading(f.slot)
+	}
+}

@@ -1,0 +1,175 @@
+// Package sim drives the end-to-end simulations of §4: it generates the
+// per-slot query workloads, runs the acquisition algorithms against the
+// datasets' sensor fleets for the 50-slot horizon, collects the paper's
+// metrics (average utility per time slot, query satisfaction ratio,
+// average quality of results) and regenerates every figure of the
+// evaluation as a stats.Table.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/datasets"
+	"repro/internal/geo"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// DefaultSlots is the simulation period of §4.1 (50 time slots).
+const DefaultSlots = 50
+
+// BudgetSweep is the x-axis of Figs 2-7.
+var BudgetSweep = []float64{7, 10, 15, 20, 25, 30, 35}
+
+// BudgetSweepShort is the x-axis of Figs 8-10.
+var BudgetSweepShort = []float64{7, 10, 15, 20, 25}
+
+// PointWorkload generates the single-sensor point query stream of §4.3:
+// each slot, QueriesPerSlot users submit point queries at locations picked
+// uniformly over the working region.
+type PointWorkload struct {
+	QueriesPerSlot int
+	// BudgetMean is the per-query budget; with BudgetJitter > 0 budgets
+	// are drawn uniformly from [mean-jitter, mean+jitter] (Fig 4).
+	BudgetMean   float64
+	BudgetJitter float64
+	DMax         float64
+	Working      geo.Rect
+	Grid         geo.Grid
+}
+
+// Slot materializes slot t's queries. Locations snap to grid-cell centers
+// (the paper's regions are griditized), which lets co-located queries
+// share sensors exactly.
+func (w *PointWorkload) Slot(t int, rnd *rng.Stream) []*query.Point {
+	out := make([]*query.Point, 0, w.QueriesPerSlot)
+	for i := 0; i < w.QueriesPerSlot; i++ {
+		loc := w.Grid.CellCenter(w.Grid.CellOf(geo.Pt(
+			rnd.Uniform(w.Working.MinX, w.Working.MaxX),
+			rnd.Uniform(w.Working.MinY, w.Working.MaxY),
+		)))
+		b := w.BudgetMean
+		if w.BudgetJitter > 0 {
+			b = rnd.Uniform(w.BudgetMean-w.BudgetJitter, w.BudgetMean+w.BudgetJitter)
+		}
+		out = append(out, query.NewPoint(fmt.Sprintf("p%d-%d", t, i), loc, b, w.DMax))
+	}
+	return out
+}
+
+// AggregateWorkload generates the spatial aggregate stream of §4.4: a
+// uniformly random number of queries per slot with mean 30, random
+// regions, sensing range 10 and budget A(r)/(1.5 rs) * b.
+type AggregateWorkload struct {
+	MeanQueries  int
+	BudgetFactor float64
+	SensingRange float64
+	// RS is the average sensor coverage used in the budget formula (set to
+	// dmax in §4.4).
+	RS      float64
+	Working geo.Rect
+	Grid    geo.Grid
+	// MinDim/MaxDim bound the random region side lengths.
+	MinDim, MaxDim float64
+}
+
+// Slot materializes slot t's aggregate queries.
+func (w *AggregateWorkload) Slot(t int, rnd *rng.Stream) []*query.Aggregate {
+	n := rnd.IntBetween(w.MeanQueries/2, w.MeanQueries*3/2)
+	out := make([]*query.Aggregate, 0, n)
+	for i := 0; i < n; i++ {
+		width := rnd.Uniform(w.MinDim, w.MaxDim)
+		height := rnd.Uniform(w.MinDim, w.MaxDim)
+		x := rnd.Uniform(w.Working.MinX, math.Max(w.Working.MinX, w.Working.MaxX-width))
+		y := rnd.Uniform(w.Working.MinY, math.Max(w.Working.MinY, w.Working.MaxY-height))
+		region := geo.NewRect(x, y, math.Min(x+width, w.Working.MaxX), math.Min(y+height, w.Working.MaxY))
+		budget := region.Area() / (1.5 * w.RS) * w.BudgetFactor
+		out = append(out, query.NewAggregate(fmt.Sprintf("a%d-%d", t, i), region, budget, w.SensingRange, w.Grid))
+	}
+	return out
+}
+
+// LocMonWorkload manages the location-monitoring population of §4.5: the
+// number of active plus new queries stays below MaxActive (100); durations
+// are uniform in [5,20]; the number of desired sampling times is one third
+// of the duration; the budget is duration times the budget factor.
+type LocMonWorkload struct {
+	MaxActive    int
+	ArrivalsMin  int
+	ArrivalsMax  int
+	BudgetFactor float64
+	DMax         float64
+	Working      geo.Rect
+	Grid         geo.Grid
+	Slots        int
+	World        *datasets.World
+
+	counter int
+}
+
+// Spawn returns the new queries arriving at slot t given the currently
+// active count.
+func (w *LocMonWorkload) Spawn(t, active int, rnd *rng.Stream) []*query.LocationMonitoring {
+	n := rnd.IntBetween(w.ArrivalsMin, w.ArrivalsMax)
+	if active+n >= w.MaxActive {
+		n = w.MaxActive - 1 - active
+	}
+	var out []*query.LocationMonitoring
+	for i := 0; i < n; i++ {
+		loc := w.Grid.CellCenter(w.Grid.CellOf(geo.Pt(
+			rnd.Uniform(w.Working.MinX, w.Working.MaxX),
+			rnd.Uniform(w.Working.MinY, w.Working.MaxY),
+		)))
+		dur := rnd.IntBetween(5, 20)
+		end := t + dur
+		if end > w.Slots-1 {
+			end = w.Slots - 1
+		}
+		if end <= t {
+			continue
+		}
+		samples := dur / 3
+		if samples < 1 {
+			samples = 1
+		}
+		hist := w.World.History(loc, w.Slots)
+		w.counter++
+		q := query.NewLocationMonitoring(fmt.Sprintf("lm%d", w.counter), loc, t, end,
+			float64(dur)*w.BudgetFactor, w.DMax, hist, samples)
+		out = append(out, q)
+	}
+	return out
+}
+
+// RegMonWorkload creates one region-monitoring query per slot (§4.6) with
+// budget A(r)/(3 pi rs^2) * b, rs = 2.
+type RegMonWorkload struct {
+	BudgetFactor float64
+	RS           float64
+	Working      geo.Rect
+	Grid         geo.Grid
+	Slots        int
+	World        *datasets.World
+	// MinW/MaxW and MinH/MaxH bound region dimensions.
+	MinW, MaxW, MinH, MaxH float64
+
+	counter int
+}
+
+// Spawn returns slot t's new region query.
+func (w *RegMonWorkload) Spawn(t int, rnd *rng.Stream) *query.RegionMonitoring {
+	width := rnd.Uniform(w.MinW, w.MaxW)
+	height := rnd.Uniform(w.MinH, w.MaxH)
+	x := rnd.Uniform(w.Working.MinX, math.Max(w.Working.MinX, w.Working.MaxX-width))
+	y := rnd.Uniform(w.Working.MinY, math.Max(w.Working.MinY, w.Working.MaxY-height))
+	region := geo.NewRect(x, y, math.Min(x+width, w.Working.MaxX), math.Min(y+height, w.Working.MaxY))
+	dur := rnd.IntBetween(5, 20)
+	end := t + dur
+	if end > w.Slots-1 {
+		end = w.Slots - 1
+	}
+	budget := region.Area() / (3 * math.Pi * w.RS * w.RS) * w.BudgetFactor
+	w.counter++
+	return query.NewRegionMonitoring(fmt.Sprintf("rm%d", w.counter), region, t, end, budget, w.World.GPModel, w.Grid)
+}
