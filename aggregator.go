@@ -2,6 +2,7 @@ package ps
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/query"
@@ -30,6 +31,36 @@ type Aggregator struct {
 // payments and utilities, per-sensor earnings, welfare, and balance checks
 // (the "accounting" stage of Algorithm 5).
 func (a *Aggregator) Ledger() *core.Ledger { return &a.ledger }
+
+// slotRunner is the narrow seam between the batch scheduling core and the
+// streaming Engine: everything the engine's event loop needs from the
+// aggregator is the ability to execute the next slot and to name it. The
+// engine wraps an Aggregator behind this interface; richer access (query
+// submission, the ledger) stays on the concrete type and is confined to
+// the loop goroutine.
+type slotRunner interface {
+	RunSlot() *SlotReport
+	NextSlot() int
+}
+
+var _ slotRunner = (*Aggregator)(nil)
+
+// CancelQuery withdraws a pending or continuous query by ID before the
+// next slot executes. It reports whether anything was removed. One-shot
+// queries already consumed by a RunSlot are gone and return false.
+func (a *Aggregator) CancelQuery(id string) bool {
+	before := len(a.points) + len(a.aggs) + len(a.extra) + len(a.locMon) +
+		len(a.regMon) + len(a.events) + len(a.regEvents)
+	a.points = slices.DeleteFunc(a.points, func(q *PointQuery) bool { return q.QID() == id })
+	a.aggs = slices.DeleteFunc(a.aggs, func(q *AggregateQuery) bool { return q.QID() == id })
+	a.extra = slices.DeleteFunc(a.extra, func(q query.Query) bool { return q.QID() == id })
+	a.locMon = slices.DeleteFunc(a.locMon, func(q *LocationMonitoringQuery) bool { return q.ID == id })
+	a.regMon = slices.DeleteFunc(a.regMon, func(q *RegionMonitoringQuery) bool { return q.ID == id })
+	a.events = slices.DeleteFunc(a.events, func(q *EventDetectionQuery) bool { return q.ID == id })
+	a.regEvents = slices.DeleteFunc(a.regEvents, func(q *RegionEventQuery) bool { return q.ID == id })
+	return len(a.points)+len(a.aggs)+len(a.extra)+len(a.locMon)+
+		len(a.regMon)+len(a.events)+len(a.regEvents) != before
+}
 
 // Option customizes an Aggregator.
 type Option func(*Aggregator)
@@ -163,10 +194,15 @@ type SlotReport struct {
 
 	values   map[string]float64
 	payments map[string]float64
+	// answered marks continuous queries whose probe was satisfied this
+	// slot even when the valuation delta rounds to zero (e.g. a sample
+	// that repeats an already-achieved quality still counts as served).
+	answered map[string]bool
 }
 
-// Answered reports whether the query obtained positive value this slot.
-func (r *SlotReport) Answered(id string) bool { return r.values[id] > 0 }
+// Answered reports whether the query was served this slot: it obtained
+// positive value, or (for continuous queries) a satisfied sample.
+func (r *SlotReport) Answered(id string) bool { return r.values[id] > 0 || r.answered[id] }
 
 // Value returns the valuation the query obtained this slot.
 func (r *SlotReport) Value(id string) float64 { return r.values[id] }
@@ -187,6 +223,7 @@ func (a *Aggregator) RunSlot() *SlotReport {
 		Slot:     t,
 		values:   make(map[string]float64),
 		payments: make(map[string]float64),
+		answered: make(map[string]bool),
 	}
 
 	// Materialize event-detection probes.
@@ -256,12 +293,30 @@ func (a *Aggregator) RunSlot() *SlotReport {
 			report.values[qid] = o.Value
 			report.payments[qid] = o.Payment
 		}
+		// Continuous queries report under their own ID: Algorithm 5's
+		// generated probes carry derived IDs, so without this projection
+		// Answered/Value/Payment would never see monitoring results.
+		for qid, co := range res.Continuous {
+			if co.ValueDelta > 0 {
+				report.values[qid] = co.ValueDelta
+			}
+			if co.Payment > 0 {
+				report.payments[qid] += co.Payment
+			}
+			if co.Satisfied {
+				report.answered[qid] = true
+			}
+		}
 
 		// Evaluate region-event probes: readings plus achieved coverage.
 		for pid, e := range regProbes {
 			out := res.Multi.Outcomes[pid]
 			if out == nil || len(out.Sensors) == 0 {
 				continue
+			}
+			if out.Value > 0 {
+				report.values[e.ID] += out.Value
+				report.payments[e.ID] += out.TotalPayment()
 			}
 			var vals, thetas []float64
 			var centers []Point
@@ -286,6 +341,10 @@ func (a *Aggregator) RunSlot() *SlotReport {
 			out := res.Multi.Outcomes[pid]
 			if out == nil || len(out.Sensors) == 0 {
 				continue
+			}
+			if out.Value > 0 {
+				report.values[e.ID] += out.Value
+				report.payments[e.ID] += out.TotalPayment()
 			}
 			var vals, thetas []float64
 			var wsum, wv float64

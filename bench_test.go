@@ -12,8 +12,10 @@ package ps_test
 // just speed) are visible.
 
 import (
+	"fmt"
 	"testing"
 
+	ps "repro"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/geo"
@@ -159,6 +161,95 @@ func BenchmarkFLSolverMediumInstance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		solver(queries, offers)
+	}
+}
+
+// largeFleetSlot builds one slot of mixed point+aggregate input on an
+// n-sensor fleet — the candidate-evaluation hot path's worst case.
+func largeFleetSlot(seed int64, n int) ([]query.Query, []core.Offer) {
+	world := datasets.NewRWM(seed, n, datasets.SensorConfig{})
+	offers := world.Fleet.Step()
+	pwl := sim.PointWorkload{QueriesPerSlot: 200, BudgetMean: 15, DMax: world.DMax, Working: world.Working, Grid: world.Grid}
+	awl := sim.AggregateWorkload{MeanQueries: 10, BudgetFactor: 15, SensingRange: 10, RS: 10, Working: world.Working, Grid: world.Grid, MinDim: 10, MaxDim: 30}
+	points := pwl.Slot(0, rng.New(seed, "bench-parallel-p"))
+	aggs := awl.Slot(0, rng.New(seed, "bench-parallel-a"))
+	qs := make([]query.Query, 0, len(points)+len(aggs))
+	for _, q := range aggs {
+		qs = append(qs, q)
+	}
+	for _, q := range points {
+		qs = append(qs, q)
+	}
+	return qs, offers
+}
+
+// BenchmarkParallelCandidateEval compares the serial and sharded
+// candidate scans of Algorithm 1 on large fleets; the selections are
+// bit-identical (see TestGreedyParallelMatchesSerial), only wall time
+// differs.
+func BenchmarkParallelCandidateEval(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		qs, offers := largeFleetSlot(1, n)
+		b.Run(fmt.Sprintf("serial/sensors=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GreedySelectWith(qs, offers, core.GreedyConfig{Workers: 1})
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/sensors=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GreedySelectWith(qs, offers, core.GreedyConfig{ParallelThreshold: 1})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures end-to-end queries/sec through the
+// streaming engine: enqueue a slot's worth of point and aggregate queries
+// (the mix pipeline — the serving hot path), execute the slot, and
+// consume every subscription's result.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const pointsPerSlot, aggsPerSlot = 100, 3
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("sensors=%d", n), func(b *testing.B) {
+			world := ps.NewRWMWorld(1, n, ps.SensorConfig{})
+			eng := ps.NewEngine(ps.NewAggregator(world), ps.WithBlockingSubmit(),
+				ps.WithQueueSize(2*(pointsPerSlot+aggsPerSlot)))
+			eng.Start()
+			defer eng.Stop()
+			w := world.Working
+			rnd := rng.New(1, "bench-engine")
+			var handles []*ps.QueryHandle
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				handles = handles[:0]
+				for j := 0; j < pointsPerSlot; j++ {
+					h, err := eng.SubmitPoint(fmt.Sprintf("q%d-%d", i, j),
+						ps.Pt(rnd.Uniform(w.MinX, w.MaxX), rnd.Uniform(w.MinY, w.MaxY)), 15)
+					if err != nil {
+						b.Fatalf("submit: %v", err)
+					}
+					handles = append(handles, h)
+				}
+				for j := 0; j < aggsPerSlot; j++ {
+					x, y := rnd.Uniform(w.MinX, w.MaxX-15), rnd.Uniform(w.MinY, w.MaxY-15)
+					h, err := eng.SubmitAggregate(fmt.Sprintf("a%d-%d", i, j),
+						ps.NewRect(x, y, x+10, y+10), 300)
+					if err != nil {
+						b.Fatalf("submit: %v", err)
+					}
+					handles = append(handles, h)
+				}
+				if err := eng.RunSlots(1); err != nil {
+					b.Fatalf("slot: %v", err)
+				}
+				for _, h := range handles {
+					for range h.Results() {
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*(pointsPerSlot+aggsPerSlot)/b.Elapsed().Seconds(), "queries/s")
+		})
 	}
 }
 

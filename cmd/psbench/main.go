@@ -1,7 +1,9 @@
 // Command psbench regenerates the paper's figures: for every figure of
 // the evaluation section (Figs 2-10), the §4.7 trust experiment and the
 // ablations, it runs the corresponding simulation and prints the x/series
-// rows the paper plots.
+// rows the paper plots. It doubles as the engine-mode load generator,
+// driving the streaming engine with concurrent submitters on a virtual
+// clock and reporting end-to-end throughput.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	psbench -figure fig2           # one figure at paper scale
 //	psbench -figure fig3 -slots 10 # reduced horizon
 //	psbench -list                  # list figure IDs
+//	psbench -engine -engine-sensors 10000 -engine-slots 20
 package main
 
 import (
@@ -17,8 +20,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	ps "repro"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -30,8 +36,24 @@ func main() {
 		budgets = flag.String("budgets", "", "comma-separated x-axis override")
 		list    = flag.Bool("list", false, "list available figure IDs")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+
+		engineMode = flag.Bool("engine", false, "run the streaming-engine load generator instead of figures")
+		engSensors = flag.Int("engine-sensors", 1000, "engine mode: fleet size")
+		engSlots   = flag.Int("engine-slots", 50, "engine mode: slots to run")
+		engQueries = flag.Int("engine-queries", 200, "engine mode: point queries submitted per slot")
+		engAggs    = flag.Int("engine-aggregates", 5, "engine mode: aggregate queries submitted per slot")
+		engClients = flag.Int("engine-clients", 8, "engine mode: concurrent submitter goroutines")
 	)
 	flag.Parse()
+
+	if *engineMode {
+		seed := *seed
+		if seed == 0 {
+			seed = 1
+		}
+		runEngineLoad(seed, *engSensors, *engSlots, *engQueries, *engAggs, *engClients)
+		return
+	}
 
 	if *list {
 		for _, f := range sim.Figures {
@@ -76,4 +98,82 @@ func main() {
 		}
 		fmt.Printf("-- %s done in %v\n\n", f.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runEngineLoad drives the streaming engine on a virtual clock: every
+// slot, `clients` goroutines submit a mixed point/aggregate workload
+// concurrently, then one slot executes. Results are consumed by one
+// goroutine per query, mirroring how real subscribers behave.
+func runEngineLoad(seed int64, sensors, slots, perSlot, aggsPerSlot, clients int) {
+	world := ps.NewRWMWorld(seed, sensors, ps.SensorConfig{})
+	eng := ps.NewEngine(
+		ps.NewAggregator(world),
+		ps.WithBlockingSubmit(),
+		ps.WithQueueSize(2*(perSlot+aggsPerSlot)+clients),
+	)
+	eng.Start()
+	fmt.Printf("== engine load: %d sensors, %d slots, %d point + %d aggregate queries/slot, %d clients\n",
+		sensors, slots, perSlot, aggsPerSlot, clients)
+
+	var consumers sync.WaitGroup
+	consume := func(h *ps.QueryHandle) {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for range h.Results() {
+			}
+		}()
+	}
+
+	w := world.Working
+	start := time.Now()
+	for t := 0; t < slots; t++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rnd := rng.New(seed, fmt.Sprintf("load-%d-%d", t, c))
+				for i := c; i < perSlot; i += clients {
+					loc := ps.Pt(rnd.Uniform(w.MinX, w.MaxX), rnd.Uniform(w.MinY, w.MaxY))
+					h, err := eng.SubmitPoint(fmt.Sprintf("p%d-%d", t, i), loc, 15)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "psbench: submit: %v\n", err)
+						os.Exit(1)
+					}
+					consume(h)
+				}
+				for i := c; i < aggsPerSlot; i += clients {
+					x := rnd.Uniform(w.MinX, w.MaxX-20)
+					y := rnd.Uniform(w.MinY, w.MaxY-20)
+					region := ps.NewRect(x, y, x+rnd.Uniform(10, 20), y+rnd.Uniform(10, 20))
+					h, err := eng.SubmitAggregate(fmt.Sprintf("a%d-%d", t, i), region, 300)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "psbench: submit: %v\n", err)
+						os.Exit(1)
+					}
+					consume(h)
+				}
+			}(c)
+		}
+		wg.Wait()
+		if err := eng.RunSlots(1); err != nil {
+			fmt.Fprintf(os.Stderr, "psbench: slot: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	consumers.Wait()
+	elapsed := time.Since(start)
+	eng.Stop()
+
+	m := eng.Metrics()
+	qps := float64(m.QueriesSubmitted) / elapsed.Seconds()
+	fmt.Printf("%-28s %v\n", "wall time:", elapsed.Round(time.Millisecond))
+	fmt.Printf("%-28s %d\n", "queries submitted:", m.QueriesSubmitted)
+	fmt.Printf("%-28s %.0f\n", "queries/sec end-to-end:", qps)
+	fmt.Printf("%-28s %.1f\n", "slots/sec:", float64(m.Slots)/elapsed.Seconds())
+	fmt.Printf("%-28s avg %v  max %v\n", "slot latency:", m.SlotLatencyAvg.Round(time.Microsecond), m.SlotLatencyMax.Round(time.Microsecond))
+	fmt.Printf("%-28s %.1f (%.1f/slot)\n", "total welfare:", m.TotalWelfare, m.TotalWelfare/float64(m.Slots))
+	fmt.Printf("%-28s %d answered / %d starved\n", "deliveries:", m.Answered, m.Starved)
+	fmt.Printf("%-28s %d delivered, %d dropped\n", "results:", m.ResultsDelivered, m.ResultsDropped)
 }

@@ -19,13 +19,28 @@
 //	report := agg.RunSlot()
 //	fmt.Println(report.Welfare, report.Answered("q1"))
 //
-// The scheduling policies of the paper are selectable via options:
-// WithOptimalScheduling (the exact BILP of §3.1.1, default),
-// WithLocalSearchScheduling (the 1/3-approximation of §3.1.2) and
-// WithBaselineScheduling (the evaluation's baseline). Continuous queries
-// persist across slots and are re-planned every slot per Algorithms 2-5.
+// The scheduling policies of the paper are selectable via
+// WithScheduling: SchedulingOptimal (the exact BILP of §3.1.1, default),
+// SchedulingLocalSearch (the 1/3-approximation of §3.1.2),
+// SchedulingBaseline (the evaluation's baseline) and
+// SchedulingEgalitarian. Continuous queries persist across slots and are
+// re-planned every slot per Algorithms 2-5.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every figure; cmd/psbench regenerates
-// the figures.
+// For serving live traffic, Engine wraps an Aggregator into a
+// concurrent, slot-clocked streaming layer: submissions from any
+// goroutine become non-blocking enqueues returning a QueryHandle with a
+// per-slot result subscription, a real-time or virtual clock drives the
+// slots, and cmd/psserve exposes the whole thing over HTTP:
+//
+//	eng := ps.NewEngine(ps.NewAggregator(world), ps.WithSlotInterval(time.Second))
+//	eng.Start()
+//	h, _ := eng.SubmitPoint("q1", ps.Pt(30, 30), 15)
+//	res := <-h.Results()
+//	eng.Stop()
+//
+// See DESIGN.md for the package inventory and the engine architecture
+// (ingest, event loop, slot clock, fan-out, parallel candidate
+// evaluation); cmd/psbench regenerates the paper's figures and
+// load-tests the engine, and bench_test.go tracks both speed and
+// solution quality.
 package ps

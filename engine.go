@@ -1,0 +1,451 @@
+package ps
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Errors surfaced by the streaming Engine.
+var (
+	// ErrQueueFull reports that a submission was rejected because the
+	// engine's bounded ingest queue was at capacity (backpressure).
+	ErrQueueFull = engine.ErrQueueFull
+	// ErrEngineStopped reports a submission to (or a subscription cut off
+	// by) a stopped engine.
+	ErrEngineStopped = engine.ErrStopped
+	// ErrCanceled marks a subscription ended by QueryHandle.Cancel.
+	ErrCanceled = errors.New("ps: query canceled")
+	// ErrDuplicateQueryID rejects a submission whose ID is already live.
+	ErrDuplicateQueryID = errors.New("ps: duplicate query id")
+)
+
+// SlotResult is what a query's subscription receives after each executed
+// slot the query was live for.
+type SlotResult struct {
+	// Slot is the executed slot number.
+	Slot int
+	// Answered reports whether the query was served this slot: it
+	// obtained positive value, or — for continuous queries — a satisfied
+	// sample whose valuation delta may round to zero.
+	Answered bool
+	// Value is the valuation obtained this slot, Payment what it paid.
+	Value   float64
+	Payment float64
+	// Events carries this query's event-detection evaluations, if any.
+	Events []EventNotification
+	// Final marks the last result this subscription will deliver; the
+	// result channel is closed right after it.
+	Final bool
+}
+
+// QueryHandle is a live query's subscription: a receive-only stream of
+// per-slot results plus cancellation. One-shot queries deliver exactly one
+// result; continuous queries deliver one per active slot until they expire,
+// are canceled, or the engine stops.
+type QueryHandle struct {
+	id  string
+	eng *Engine
+	// results is closed by the loop goroutine when the subscription ends.
+	results chan SlotResult
+
+	// Loop-goroutine-owned; err is published by the close of results.
+	end int
+	err error
+}
+
+// ID returns the query's identifier.
+func (h *QueryHandle) ID() string { return h.id }
+
+// Results returns the subscription stream. The channel is buffered; if a
+// subscriber falls behind, the *oldest* buffered result is dropped
+// (counted in the engine metrics) rather than stalling the slot clock —
+// the newest result, including the Final one, is always delivered. The
+// channel closes after the Final result, after Cancel, or on engine
+// shutdown.
+func (h *QueryHandle) Results() <-chan SlotResult { return h.results }
+
+// Err explains why the subscription ended: nil after normal expiry,
+// ErrCanceled, ErrEngineStopped, or a submission error such as
+// ErrDuplicateQueryID. Only valid once Results is closed.
+func (h *QueryHandle) Err() error { return h.err }
+
+// Cancel withdraws the query before its next slot and closes the
+// subscription with ErrCanceled. Canceling an already-finished query is a
+// no-op. The returned error reports only enqueue failure of the
+// cancellation itself (queue full or engine stopped).
+func (h *QueryHandle) Cancel() error {
+	return h.eng.loop.Do(func() {
+		e := h.eng
+		if e.subs[h.id] != h {
+			return // already expired, replaced, or canceled
+		}
+		delete(e.subs, h.id)
+		e.agg.CancelQuery(h.id)
+		h.fail(ErrCanceled)
+		e.mu.Lock()
+		e.m.QueriesCanceled++
+		e.m.ActiveQueries = len(e.subs)
+		e.mu.Unlock()
+	})
+}
+
+// fail ends the subscription with err. Loop goroutine only.
+func (h *QueryHandle) fail(err error) {
+	h.err = err
+	close(h.results)
+}
+
+// EngineMetrics is a point-in-time snapshot of the engine's counters.
+type EngineMetrics struct {
+	// Slots executed and the last executed slot number.
+	Slots    int
+	LastSlot int
+	// Welfare, payments, cost and sensor usage accumulated over all slots.
+	TotalWelfare  float64
+	LastWelfare   float64
+	TotalPayments float64
+	TotalCost     float64
+	SensorsUsed   int64
+	// Query lifecycle counters: Submitted counts queries that became
+	// live; Rejected counts submissions that never did (queue overflow,
+	// duplicate ID, registration error).
+	QueriesSubmitted int64
+	QueriesRejected  int64
+	QueriesCanceled  int64
+	ActiveQueries    int
+	// Per-(query, slot) delivery counters: Answered counts results with
+	// positive value, Starved results delivered with none.
+	Answered int64
+	Starved  int64
+	// ResultsDropped counts results discarded because a subscriber's
+	// buffer was full.
+	ResultsDelivered int64
+	ResultsDropped   int64
+	// Ingest queue occupancy and slot execution latency.
+	QueueDepth      int
+	QueueCap        int
+	SlotLatencyLast time.Duration
+	SlotLatencyAvg  time.Duration
+	SlotLatencyMax  time.Duration
+}
+
+type engineConfig struct {
+	interval     time.Duration
+	queueSize    int
+	blockOnFull  bool
+	resultBuffer int
+	drainSlots   int
+}
+
+// EngineOption customizes an Engine.
+type EngineOption func(*engineConfig)
+
+// WithSlotInterval attaches a real-time slot clock ticking every d. The
+// default is no clock: slots run only through RunSlots (virtual time,
+// used by tests, backtesting and benchmarks).
+func WithSlotInterval(d time.Duration) EngineOption {
+	return func(c *engineConfig) { c.interval = d }
+}
+
+// WithQueueSize bounds the ingest queue (default 1024 submissions).
+func WithQueueSize(n int) EngineOption {
+	return func(c *engineConfig) { c.queueSize = n }
+}
+
+// WithBlockingSubmit makes submissions wait for queue space instead of
+// failing fast with ErrQueueFull.
+func WithBlockingSubmit() EngineOption {
+	return func(c *engineConfig) { c.blockOnFull = true }
+}
+
+// WithResultBuffer sets each subscription's channel buffer (default 16).
+func WithResultBuffer(n int) EngineOption {
+	return func(c *engineConfig) {
+		if n > 0 {
+			c.resultBuffer = n
+		}
+	}
+}
+
+// WithDrainSlots caps how many extra slots Stop runs to drain in-flight
+// queries before force-closing their subscriptions (default 64).
+func WithDrainSlots(n int) EngineOption {
+	return func(c *engineConfig) { c.drainSlots = n }
+}
+
+// Engine is the concurrent, slot-clocked serving layer over an
+// Aggregator. Submissions from any goroutine become non-blocking enqueues
+// onto a bounded queue; a single event-loop goroutine owns the aggregator,
+// executes slots as the clock ticks, and fans each SlotReport out to the
+// per-query subscriptions. The aggregator (and its World) must not be
+// used directly once handed to an Engine.
+type Engine struct {
+	agg    *Aggregator
+	runner slotRunner
+	loop   *engine.Loop[*SlotReport]
+
+	resultBuffer int
+	drainSlots   int
+
+	// subs maps live query IDs to their handles. Loop goroutine only.
+	subs map[string]*QueryHandle
+
+	mu sync.Mutex
+	m  EngineMetrics
+}
+
+// NewEngine wraps an aggregator into a streaming engine. Call Start to
+// begin serving, then submit queries from any number of goroutines.
+func NewEngine(agg *Aggregator, opts ...EngineOption) *Engine {
+	cfg := engineConfig{queueSize: 1024, resultBuffer: 16, drainSlots: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{
+		agg:          agg,
+		runner:       agg,
+		resultBuffer: cfg.resultBuffer,
+		drainSlots:   cfg.drainSlots,
+		subs:         make(map[string]*QueryHandle),
+	}
+	lc := engine.Config{QueueSize: cfg.queueSize}
+	if cfg.blockOnFull {
+		lc.Overflow = engine.OverflowBlock
+	}
+	if cfg.interval > 0 {
+		lc.Clock = engine.NewRealClock(cfg.interval)
+	}
+	e.loop = engine.New[*SlotReport](e.runner, lc, e.onSlot, e.drain)
+	return e
+}
+
+// Start launches the event loop (and the slot clock, if configured).
+func (e *Engine) Start() { e.loop.Start() }
+
+// Stop shuts down gracefully: new submissions are refused, queued ones are
+// processed, then the engine keeps running slots (up to the drain cap)
+// while live queries remain, so in-flight continuous queries finish.
+// Whatever is still live after the cap is closed with ErrEngineStopped.
+// Stop blocks until the loop goroutine exits.
+func (e *Engine) Stop() { e.loop.Stop() }
+
+// RunSlots synchronously executes n slots on the event loop and returns
+// when they have all run — the virtual/fast-forward clock used by tests,
+// backtesting and load generation. It composes with a real clock, but is
+// typically used instead of one.
+func (e *Engine) RunSlots(n int) error { return e.loop.StepSlots(n) }
+
+// Flush blocks until every submission enqueued before the call has been
+// applied to the aggregator. No slot is executed.
+func (e *Engine) Flush() error { return e.loop.StepSlots(0) }
+
+// Metrics returns a snapshot of the engine-wide counters.
+func (e *Engine) Metrics() EngineMetrics {
+	s := e.loop.Stats()
+	e.mu.Lock()
+	m := e.m
+	e.mu.Unlock()
+	m.Slots = s.Slots
+	m.QueueDepth = s.QueueDepth
+	m.QueueCap = s.QueueCap
+	m.SlotLatencyLast = s.SlotLast
+	m.SlotLatencyAvg = s.SlotAvg()
+	m.SlotLatencyMax = s.SlotMax
+	return m
+}
+
+// submit is the shared ingest path: it allocates the handle, enqueues the
+// registration closure and accounts for acceptance/rejection. register
+// runs on the loop goroutine and returns the last slot the query can
+// produce a result for.
+func (e *Engine) submit(id string, register func() (end int, err error)) (*QueryHandle, error) {
+	h := &QueryHandle{id: id, eng: e, results: make(chan SlotResult, e.resultBuffer)}
+	err := e.loop.Do(func() {
+		if _, dup := e.subs[id]; dup {
+			h.fail(ErrDuplicateQueryID)
+			e.countRejected()
+			return
+		}
+		end, err := register()
+		if err != nil {
+			h.fail(err)
+			e.countRejected()
+			return
+		}
+		h.end = end
+		e.subs[id] = h
+		e.mu.Lock()
+		e.m.QueriesSubmitted++
+		e.m.ActiveQueries = len(e.subs)
+		e.mu.Unlock()
+	})
+	if err != nil {
+		e.countRejected()
+		return nil, err
+	}
+	return h, nil
+}
+
+// countRejected accounts for a submission that never became a live query:
+// queue overflow, duplicate ID, or a registration error.
+func (e *Engine) countRejected() {
+	e.mu.Lock()
+	e.m.QueriesRejected++
+	e.mu.Unlock()
+}
+
+// SubmitPoint submits a single-sensor point query; its one result arrives
+// after the next slot.
+func (e *Engine) SubmitPoint(id string, loc Point, budget float64) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		e.agg.SubmitPoint(id, loc, budget)
+		return e.runner.NextSlot(), nil
+	})
+}
+
+// SubmitMultiPoint submits a multiple-sensor point query asking for k
+// redundant readings.
+func (e *Engine) SubmitMultiPoint(id string, loc Point, budget float64, k int) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		e.agg.SubmitMultiPoint(id, loc, budget, k)
+		return e.runner.NextSlot(), nil
+	})
+}
+
+// SubmitAggregate submits a spatial aggregate query over a region.
+func (e *Engine) SubmitAggregate(id string, region Rect, budget float64) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		e.agg.SubmitAggregate(id, region, budget)
+		return e.runner.NextSlot(), nil
+	})
+}
+
+// SubmitTrajectory submits a query over a trajectory.
+func (e *Engine) SubmitTrajectory(id string, tr Trajectory, budget float64) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		e.agg.SubmitTrajectory(id, tr, budget)
+		return e.runner.NextSlot(), nil
+	})
+}
+
+// SubmitLocationMonitoring submits a continuous location-monitoring query
+// delivering one result per active slot for `duration` slots.
+func (e *Engine) SubmitLocationMonitoring(id string, loc Point, duration int, budget float64, samples int) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		q := e.agg.SubmitLocationMonitoring(id, loc, duration, budget, samples)
+		return q.End, nil
+	})
+}
+
+// SubmitRegionMonitoring submits a continuous region-monitoring query; it
+// requires a world with a GP phenomenon model. A model-less world closes
+// the subscription immediately with the aggregator's error (see Err).
+func (e *Engine) SubmitRegionMonitoring(id string, region Rect, duration int, budget float64) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		q, err := e.agg.SubmitRegionMonitoring(id, region, duration, budget)
+		if err != nil {
+			return 0, err
+		}
+		return q.End, nil
+	})
+}
+
+// SubmitEventDetection submits a continuous event-detection query; each
+// result's Events field carries the slot's detection verdict.
+func (e *Engine) SubmitEventDetection(id string, loc Point, duration int, threshold, confidence, budgetPerSlot float64) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		q := e.agg.SubmitEventDetection(id, loc, duration, threshold, confidence, budgetPerSlot)
+		return q.End, nil
+	})
+}
+
+// SubmitRegionEvent submits a continuous region event-detection query.
+func (e *Engine) SubmitRegionEvent(id string, region Rect, duration int, threshold, confidence, budgetPerSlot float64) (*QueryHandle, error) {
+	return e.submit(id, func() (int, error) {
+		q := e.agg.SubmitRegionEvent(id, region, duration, threshold, confidence, budgetPerSlot)
+		return q.End, nil
+	})
+}
+
+// onSlot fans a slot report out to the live subscriptions and updates the
+// engine-wide metrics. Loop goroutine only.
+func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
+	var delivered, dropped, answered, starved int64
+	var payments float64
+	var events map[string][]EventNotification
+	if len(rep.Events) > 0 {
+		events = make(map[string][]EventNotification, len(rep.Events))
+		for _, ev := range rep.Events {
+			events[ev.QueryID] = append(events[ev.QueryID], ev)
+		}
+	}
+	for id, h := range e.subs {
+		res := SlotResult{
+			Slot:     rep.Slot,
+			Answered: rep.Answered(id),
+			Value:    rep.Value(id),
+			Payment:  rep.Payment(id),
+			Events:   events[id],
+			Final:    rep.Slot >= h.end,
+		}
+		if res.Answered {
+			answered++
+		} else {
+			starved++
+		}
+		payments += res.Payment
+		select {
+		case h.results <- res:
+			delivered++
+		default:
+			// Slow subscriber: evict the oldest buffered result so the
+			// newest (and in particular the Final one) always lands. The
+			// loop goroutine is the only sender, so after the eviction
+			// the buffer has space and this send cannot block.
+			select {
+			case <-h.results:
+				dropped++
+			default: // a racing reader freed space for us instead
+			}
+			h.results <- res
+			delivered++
+		}
+		if res.Final {
+			delete(e.subs, id)
+			close(h.results)
+		}
+	}
+
+	e.mu.Lock()
+	e.m.LastSlot = rep.Slot
+	e.m.LastWelfare = rep.Welfare
+	e.m.TotalWelfare += rep.Welfare
+	e.m.TotalCost += rep.TotalCost
+	e.m.TotalPayments += payments
+	e.m.SensorsUsed += int64(rep.SensorsUsed)
+	e.m.Answered += answered
+	e.m.Starved += starved
+	e.m.ResultsDelivered += delivered
+	e.m.ResultsDropped += dropped
+	e.m.ActiveQueries = len(e.subs)
+	e.mu.Unlock()
+}
+
+// drain is the Stop-time finalizer: it keeps executing slots while live
+// queries remain (bounded by the drain cap), then force-closes whatever
+// is left. Loop goroutine only.
+func (e *Engine) drain(step func()) {
+	for i := 0; i < e.drainSlots && len(e.subs) > 0; i++ {
+		step()
+	}
+	for id, h := range e.subs {
+		delete(e.subs, id)
+		h.fail(ErrEngineStopped)
+	}
+	e.mu.Lock()
+	e.m.ActiveQueries = 0
+	e.mu.Unlock()
+}

@@ -1,0 +1,364 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestEngine(t *testing.T, opts ...EngineOption) *Engine {
+	t.Helper()
+	world := NewRWMWorld(1, 200, SensorConfig{})
+	e := NewEngine(NewAggregator(world), opts...)
+	e.Start()
+	t.Cleanup(e.Stop)
+	return e
+}
+
+// collect drains a handle's subscription until it closes.
+func collect(t *testing.T, h *QueryHandle) []SlotResult {
+	t.Helper()
+	var out []SlotResult
+	timeout := time.After(10 * time.Second)
+	for {
+		select {
+		case r, ok := <-h.Results():
+			if !ok {
+				return out
+			}
+			out = append(out, r)
+		case <-timeout:
+			t.Fatalf("query %s: subscription did not close", h.ID())
+		}
+	}
+}
+
+func TestEngineConcurrentSubmits(t *testing.T) {
+	e := newTestEngine(t, WithBlockingSubmit())
+
+	const goroutines, perG = 8, 25
+	handles := make([][]*QueryHandle, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h, err := e.SubmitPoint(fmt.Sprintf("q%d-%d", g, i), Pt(20+float64(g), 20+float64(i)), 20)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				handles[g] = append(handles[g], h)
+			}
+		}(g)
+	}
+	// Tick slots while submissions are in flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			if err := e.RunSlots(1); err != nil {
+				t.Errorf("RunSlots: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	// One more slot consumes any queries submitted after the last tick.
+	if err := e.RunSlots(1); err != nil {
+		t.Fatalf("final RunSlots: %v", err)
+	}
+
+	total := 0
+	for g := range handles {
+		for _, h := range handles[g] {
+			rs := collect(t, h)
+			if len(rs) != 1 {
+				t.Fatalf("query %s: %d results, want 1", h.ID(), len(rs))
+			}
+			if !rs[0].Final {
+				t.Errorf("query %s: one-shot result not Final", h.ID())
+			}
+			if h.Err() != nil {
+				t.Errorf("query %s: err = %v", h.ID(), h.Err())
+			}
+			total++
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("collected %d subscriptions, want %d", total, goroutines*perG)
+	}
+	m := e.Metrics()
+	if m.QueriesSubmitted != goroutines*perG {
+		t.Errorf("QueriesSubmitted = %d, want %d", m.QueriesSubmitted, goroutines*perG)
+	}
+	if m.Answered == 0 {
+		t.Error("no queries answered in a dense scenario")
+	}
+	if m.ActiveQueries != 0 {
+		t.Errorf("ActiveQueries = %d after all expired", m.ActiveQueries)
+	}
+}
+
+func TestEngineCancelMidFlight(t *testing.T) {
+	e := newTestEngine(t)
+
+	h, err := e.SubmitLocationMonitoring("lm", Pt(30, 30), 10, 120, 5)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := e.RunSlots(2); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	if err := h.Cancel(); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	rs := collect(t, h)
+	if len(rs) != 2 {
+		t.Fatalf("got %d results before cancel, want 2", len(rs))
+	}
+	if !errors.Is(h.Err(), ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", h.Err())
+	}
+	// Canceling twice is a harmless no-op.
+	if err := h.Cancel(); err != nil {
+		t.Fatalf("second cancel: %v", err)
+	}
+	// The query is really gone from the aggregator: the next slot is empty.
+	if err := e.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	if m := e.Metrics(); m.QueriesCanceled != 1 || m.ActiveQueries != 0 {
+		t.Fatalf("metrics after cancel = %+v", m)
+	}
+}
+
+func TestEngineFanOut(t *testing.T) {
+	e := newTestEngine(t)
+
+	var handles []*QueryHandle
+	for i := 0; i < 10; i++ {
+		h, err := e.SubmitPoint(fmt.Sprintf("fan%d", i), Pt(30, 30), 20)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		handles = append(handles, h)
+	}
+	if err := e.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	answered := 0
+	for _, h := range handles {
+		rs := collect(t, h)
+		if len(rs) != 1 || rs[0].Slot != 0 {
+			t.Fatalf("query %s: results = %+v", h.ID(), rs)
+		}
+		if rs[0].Answered {
+			answered++
+			if rs[0].Payment >= rs[0].Value {
+				t.Errorf("query %s pays %v >= value %v", h.ID(), rs[0].Payment, rs[0].Value)
+			}
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no subscriber received an answer")
+	}
+}
+
+func TestEngineGracefulShutdownDrainsContinuous(t *testing.T) {
+	world := NewRWMWorld(3, 200, SensorConfig{})
+	e := NewEngine(NewAggregator(world))
+	e.Start()
+
+	h, err := e.SubmitLocationMonitoring("drain-lm", Pt(30, 30), 5, 120, 3)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	hev, err := e.SubmitEventDetection("drain-ev", Pt(30, 30), 4, -1e9, 0.1, 30)
+	if err != nil {
+		t.Fatalf("submit event: %v", err)
+	}
+	if err := e.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	e.Stop() // must drain the remaining slots of both continuous queries
+
+	rs := collect(t, h)
+	if len(rs) != 5 {
+		t.Fatalf("locmon got %d results, want 5 (one per active slot)", len(rs))
+	}
+	if !rs[4].Final || rs[4].Slot != 4 {
+		t.Fatalf("last result = %+v, want Final at slot 4", rs[4])
+	}
+	if h.Err() != nil {
+		t.Fatalf("drained query err = %v, want nil", h.Err())
+	}
+	// Continuous results must carry the parent query's value/payment —
+	// the mix pipeline's probes have derived IDs, so this exercises the
+	// Continuous projection.
+	var lmAnswered, lmValued int
+	var lmPaid float64
+	for _, r := range rs {
+		if r.Answered {
+			lmAnswered++
+		}
+		if r.Value > 0 {
+			lmValued++
+		}
+		lmPaid += r.Payment
+	}
+	if lmAnswered == 0 {
+		t.Error("locmon subscription never saw an answered slot (continuous projection broken)")
+	}
+	if lmValued == 0 {
+		t.Error("locmon subscription never saw positive value")
+	}
+	if lmPaid <= 0 {
+		t.Error("locmon subscription never saw a payment")
+	}
+	evs := collect(t, hev)
+	if len(evs) != 4 {
+		t.Fatalf("event query got %d results, want 4", len(evs))
+	}
+	detections := 0
+	for _, r := range evs {
+		for _, ev := range r.Events {
+			if ev.QueryID != "drain-ev" {
+				t.Errorf("foreign event routed: %+v", ev)
+			}
+			if ev.Detected {
+				detections++
+			}
+		}
+	}
+	if detections == 0 {
+		t.Error("threshold -1e9 never detected: event fan-out broken")
+	}
+
+	// After Stop every submission is refused.
+	if _, err := e.SubmitPoint("late", Pt(30, 30), 10); !errors.Is(err, ErrEngineStopped) {
+		t.Fatalf("submit after stop = %v, want ErrEngineStopped", err)
+	}
+}
+
+func TestEngineStopForceClosesBeyondDrainCap(t *testing.T) {
+	world := NewRWMWorld(4, 200, SensorConfig{})
+	e := NewEngine(NewAggregator(world), WithDrainSlots(2))
+	e.Start()
+	h, err := e.SubmitLocationMonitoring("long-lm", Pt(30, 30), 50, 600, 10)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	e.Stop()
+	rs := collect(t, h)
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2 (the drain cap)", len(rs))
+	}
+	if !errors.Is(h.Err(), ErrEngineStopped) {
+		t.Fatalf("err = %v, want ErrEngineStopped", h.Err())
+	}
+}
+
+func TestEngineBackpressure(t *testing.T) {
+	world := NewRWMWorld(5, 200, SensorConfig{})
+	e := NewEngine(NewAggregator(world), WithQueueSize(1))
+	// Engine not started: the queue fills up immediately.
+	h1, err := e.SubmitPoint("bp1", Pt(30, 30), 20)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := e.SubmitPoint("bp2", Pt(30, 30), 20); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submit = %v, want ErrQueueFull", err)
+	}
+	if m := e.Metrics(); m.QueriesRejected != 1 {
+		t.Fatalf("QueriesRejected = %d, want 1", m.QueriesRejected)
+	}
+	e.Start()
+	// With a one-deep queue, RunSlots itself can hit backpressure until the
+	// loop drains the pending submit; retry until accepted.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := e.RunSlots(1)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) || time.Now().After(deadline) {
+			t.Fatalf("RunSlots: %v", err)
+		}
+	}
+	if rs := collect(t, h1); len(rs) != 1 {
+		t.Fatalf("accepted query got %d results, want 1", len(rs))
+	}
+	e.Stop()
+}
+
+func TestEngineDuplicateID(t *testing.T) {
+	e := newTestEngine(t)
+	h1, err := e.SubmitPoint("dup", Pt(30, 30), 20)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	h2, err := e.SubmitPoint("dup", Pt(31, 31), 20)
+	if err != nil {
+		t.Fatalf("second submit enqueue: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if rs := collect(t, h2); len(rs) != 0 {
+		t.Fatalf("duplicate got %d results, want 0", len(rs))
+	}
+	if !errors.Is(h2.Err(), ErrDuplicateQueryID) {
+		t.Fatalf("duplicate err = %v, want ErrDuplicateQueryID", h2.Err())
+	}
+	if err := e.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	if rs := collect(t, h1); len(rs) != 1 {
+		t.Fatalf("original got %d results, want 1", len(rs))
+	}
+}
+
+func TestEngineRealClock(t *testing.T) {
+	world := NewRWMWorld(6, 200, SensorConfig{})
+	e := NewEngine(NewAggregator(world), WithSlotInterval(2*time.Millisecond))
+	e.Start()
+	defer e.Stop()
+
+	h, err := e.SubmitPoint("rt", Pt(30, 30), 20)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case r := <-h.Results():
+		if !r.Final {
+			t.Errorf("result = %+v, want Final", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("real-time clock never delivered a result")
+	}
+	if m := e.Metrics(); m.Slots == 0 || m.SlotLatencyMax == 0 {
+		t.Errorf("metrics not tracking the ticking clock: %+v", m)
+	}
+}
+
+func TestEngineRegionMonitoringNeedsGP(t *testing.T) {
+	e := newTestEngine(t) // RWM world: no GP model
+	h, err := e.SubmitRegionMonitoring("rm", NewRect(20, 20, 40, 40), 10, 100)
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if rs := collect(t, h); len(rs) != 0 {
+		t.Fatalf("got %d results from a rejected query", len(rs))
+	}
+	if h.Err() == nil {
+		t.Fatal("expected a GP-model error via Err")
+	}
+}

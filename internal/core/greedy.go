@@ -1,6 +1,9 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+
 	"repro/internal/query"
 	"repro/internal/sensornet"
 )
@@ -46,8 +49,30 @@ func (r *MultiResult) Welfare() float64 { return r.TotalValue - r.TotalCost }
 // cost sharing). It stops when no sensor yields positive net benefit.
 //
 // The loop structure makes O(|Q| |S|^2) valuation calls (Theorem 1,
-// property 4); the per-query incremental states keep each call cheap.
+// property 4); the per-query incremental states keep each call cheap. On
+// large fleets the candidate scan of each iteration is sharded across
+// GOMAXPROCS workers (see GreedySelectWith); the result is bit-identical
+// to the serial path.
 func GreedySelect(queries []query.Query, offers []Offer) *MultiResult {
+	return GreedySelectWith(queries, offers, GreedyConfig{})
+}
+
+// GreedyConfig tunes the candidate-evaluation strategy of GreedySelect.
+type GreedyConfig struct {
+	// Workers caps the goroutines scanning candidate sensors per
+	// iteration: 0 means GOMAXPROCS, 1 forces the serial path.
+	Workers int
+	// ParallelThreshold is the minimum offer count before the scan is
+	// sharded (default 256): below it the spawn overhead dominates.
+	ParallelThreshold int
+}
+
+// GreedySelectWith is GreedySelect with explicit parallelism control. The
+// scan only reads query states (State.Gain must not mutate), so shards
+// race-free; the merge keeps the serial rule "first sensor index with the
+// strictly largest net benefit", making parallel and serial runs produce
+// identical selections, payments and welfare.
+func GreedySelectWith(queries []query.Query, offers []Offer, cfg GreedyConfig) *MultiResult {
 	res := &MultiResult{
 		Outcomes: make(map[string]*MultiOutcome, len(queries)),
 		States:   make(map[string]query.State, len(queries)),
@@ -94,9 +119,13 @@ func GreedySelect(queries []query.Query, offers []Offer) *MultiResult {
 		remaining[i] = true
 	}
 
-	for {
+	// scan finds the best candidate in [lo, hi): the lowest sensor index
+	// with the strictly largest positive net benefit. It fills the gain
+	// caches for its shard; shards never overlap, and Gain only reads
+	// query state, so concurrent shards do not race.
+	scan := func(lo, hi int) (int, float64) {
 		bestS, bestNet := -1, 0.0
-		for si := range offers {
+		for si := lo; si < hi; si++ {
 			if !remaining[si] {
 				continue
 			}
@@ -114,6 +143,30 @@ func GreedySelect(queries []query.Query, offers []Offer) *MultiResult {
 				bestNet = net
 				bestS = si
 			}
+		}
+		return bestS, bestNet
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	threshold := cfg.ParallelThreshold
+	if threshold <= 0 {
+		threshold = defaultParallelThreshold
+	}
+	if len(offers) < threshold {
+		workers = 1
+	} else if workers > len(offers) {
+		workers = len(offers)
+	}
+
+	for {
+		var bestS int
+		if workers > 1 {
+			bestS, _ = scanSharded(scan, len(offers), workers)
+		} else {
+			bestS, _ = scan(0, len(offers))
 		}
 		if bestS == -1 {
 			break // no sensor with positive net benefit: leave the loop
@@ -149,6 +202,47 @@ func GreedySelect(queries []query.Query, offers []Offer) *MultiResult {
 		res.TotalValue += out.Value
 	}
 	return res
+}
+
+// defaultParallelThreshold keeps the paper-scale evaluations (200-635
+// sensors) on the serial path, where goroutine spawn costs more than the
+// scan itself.
+const defaultParallelThreshold = 256
+
+// scanSharded runs scan over `workers` contiguous shards of [0, n) and
+// merges in shard order with a strict > comparison, reproducing exactly
+// the serial first-max choice.
+func scanSharded(scan func(lo, hi int) (int, float64), n, workers int) (int, float64) {
+	type cand struct {
+		s   int
+		net float64
+	}
+	results := make([]cand, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			results[w] = cand{s: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s, net := scan(lo, hi)
+			results[w] = cand{s: s, net: net}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	bestS, bestNet := -1, 0.0
+	for _, r := range results {
+		if r.s != -1 && r.net > bestNet {
+			bestS, bestNet = r.s, r.net
+		}
+	}
+	return bestS, bestNet
 }
 
 // GreedyPoint adapts Algorithm 1 to the PointSolver interface so the mix

@@ -34,11 +34,27 @@ type MixSlotResult struct {
 	ExtraValue  float64 // value of Extra queries
 	// PointOutcomes projects the user point queries' results.
 	PointOutcomes map[string]PointOutcome
+	// Continuous projects the slot's outcome of each active continuous
+	// query (location/region monitoring) under its *parent* query ID —
+	// the probes Algorithm 5 generates carry derived IDs, so without
+	// this projection per-query reporting cannot see continuous results.
+	Continuous map[string]ContinuousOutcome
 	// Contributions holds region queries' cost contributions to shared
 	// sensors (payment-adjustment stage).
 	Contributions map[int]float64
 	// TotalCost is the cost of all selected sensors.
 	TotalCost float64
+}
+
+// ContinuousOutcome is one continuous query's slot outcome.
+type ContinuousOutcome struct {
+	// Satisfied reports whether any probe of the query was answered.
+	Satisfied bool
+	// ValueDelta is the increase of the query's valuation this slot.
+	ValueDelta float64
+	// Payment is what the query paid this slot (probe payments plus, for
+	// region monitoring, the stage-4 sharing contributions).
+	Payment float64
 }
 
 // Welfare is the slot's social-welfare contribution.
@@ -59,6 +75,7 @@ func (r *MixSlotResult) Welfare() float64 {
 func RunMixSlot(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 	res := &MixSlotResult{
 		PointOutcomes: make(map[string]PointOutcome),
+		Continuous:    make(map[string]ContinuousOutcome),
 		Contributions: make(map[int]float64),
 	}
 
@@ -175,12 +192,16 @@ func RunMixSlot(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 	// Stage 3a: apply location monitoring results (Algorithm 2).
 	for pid, q := range lmOwners {
 		out := multi.Outcomes[pid]
+		co := res.Continuous[q.ID]
 		if out != nil && out.Value > 0 {
 			theta := bestThetaFor(pid, out, lmOwners)
 			q.ApplyResults(t, true, out.TotalPayment(), theta)
+			co.Satisfied = true
+			co.Payment += out.TotalPayment()
 		} else {
 			q.ApplyResults(t, false, 0, 0)
 		}
+		res.Continuous[q.ID] = co
 	}
 
 	// Stage 3b: apply region monitoring results (Algorithm 3), including
@@ -199,6 +220,10 @@ func RunMixSlot(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 			recorded[plan.q][s.ID] = true
 			spentActual[plan] += out.TotalPayment()
 		}
+		co := res.Continuous[plan.q.ID]
+		co.Satisfied = co.Satisfied || spentActual[plan] > 0
+		co.Payment += spentActual[plan]
+		res.Continuous[plan.q.ID] = co
 	}
 	for _, plan := range rmPlans {
 		q := plan.q
@@ -234,17 +259,29 @@ func RunMixSlot(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 			recorded[q][c.s.ID] = true
 			res.Contributions[c.s.ID] += pay
 			budget -= pay
+			co := res.Continuous[q.ID]
+			co.Satisfied = true
+			co.Payment += pay
+			res.Continuous[q.ID] = co
 		}
 	}
 
 	// Value deltas of continuous queries.
 	for _, q := range qs.LocMon {
 		if before, ok := lmBefore[q.ID]; ok {
-			res.LocMonValue += q.Value() - before
+			delta := q.Value() - before
+			res.LocMonValue += delta
+			co := res.Continuous[q.ID]
+			co.ValueDelta = delta
+			res.Continuous[q.ID] = co
 		}
 	}
 	for _, q := range activeRM {
-		res.RegMonValue += q.Value() - rmBefore[q.ID]
+		delta := q.Value() - rmBefore[q.ID]
+		res.RegMonValue += delta
+		co := res.Continuous[q.ID]
+		co.ValueDelta = delta
+		res.Continuous[q.ID] = co
 	}
 	return res
 }
@@ -256,6 +293,7 @@ func RunMixSlot(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 func RunMixSlotBaseline(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 	res := &MixSlotResult{
 		PointOutcomes: make(map[string]PointOutcome),
+		Continuous:    make(map[string]ContinuousOutcome),
 		Contributions: make(map[int]float64),
 	}
 
@@ -301,15 +339,23 @@ func RunMixSlotBaseline(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 		}
 	}
 	for pid, q := range lmOwners {
+		co := res.Continuous[q.ID]
 		if o, ok := ptRes.Outcomes[pid]; ok {
 			q.ApplyResults(t, true, o.Payment, o.Theta)
+			co.Satisfied = true
+			co.Payment += o.Payment
 		} else {
 			q.ApplyResults(t, false, 0, 0)
 		}
+		res.Continuous[q.ID] = co
 	}
 	for _, q := range qs.LocMon {
 		if before, ok := lmBefore[q.ID]; ok {
-			res.LocMonValue += q.Value() - before
+			delta := q.Value() - before
+			res.LocMonValue += delta
+			co := res.Continuous[q.ID]
+			co.ValueDelta = delta
+			res.Continuous[q.ID] = co
 		}
 	}
 	// Merge selected sensors for the caller's Commit.

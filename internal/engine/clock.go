@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock delivers slot ticks to the event loop. A tick is a request to run
+// one time slot; the loop consumes at most one tick at a time, so a slow
+// slot naturally exerts backpressure on the clock.
+type Clock interface {
+	// C is the tick channel the loop selects on.
+	C() <-chan time.Time
+	// Stop releases the clock's resources and unblocks any pending
+	// producers. After Stop no further ticks are delivered.
+	Stop()
+}
+
+// realClock ticks on wall-clock time. Ticks that arrive while a slot is
+// still running are coalesced by time.Ticker's one-deep channel: the
+// engine never builds up a backlog of stale ticks.
+type realClock struct{ t *time.Ticker }
+
+// NewRealClock returns a Clock ticking every d of wall time.
+func NewRealClock(d time.Duration) Clock { return &realClock{t: time.NewTicker(d)} }
+
+func (c *realClock) C() <-chan time.Time { return c.t.C }
+func (c *realClock) Stop()               { c.t.Stop() }
+
+// VirtualClock is a manually advanced Clock for tests and backtesting: the
+// caller decides when slots happen and can fast-forward through thousands
+// of slots without waiting on wall time.
+type VirtualClock struct {
+	ch       chan time.Time
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewVirtualClock returns a stopped-time clock; call Advance to tick.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{ch: make(chan time.Time), done: make(chan struct{})}
+}
+
+// C implements Clock.
+func (c *VirtualClock) C() <-chan time.Time { return c.ch }
+
+// Stop implements Clock; it unblocks any in-flight Advance.
+func (c *VirtualClock) Stop() { c.stopOnce.Do(func() { close(c.done) }) }
+
+// Advance delivers n ticks, blocking until each is consumed by the loop
+// (or the clock is stopped). It returns the number of ticks delivered, so
+// callers can tell how far a fast-forward actually got.
+func (c *VirtualClock) Advance(n int) int {
+	for i := 0; i < n; i++ {
+		select {
+		case c.ch <- time.Time{}:
+		case <-c.done:
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countRunner counts slots and returns the slot number.
+type countRunner struct{ slots int }
+
+func (r *countRunner) RunSlot() int { r.slots++; return r.slots }
+
+func TestLoopStepSlots(t *testing.T) {
+	r := &countRunner{}
+	var got []int
+	l := New[int](r, Config{}, func(res int, _ time.Duration) { got = append(got, res) }, nil)
+	l.Start()
+	defer l.Stop()
+
+	if err := l.StepSlots(3); err != nil {
+		t.Fatalf("StepSlots: %v", err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("onSlot results = %v, want [1 2 3]", got)
+	}
+	if s := l.Stats(); s.Slots != 3 || s.SlotAvg() <= 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLoopVirtualClock(t *testing.T) {
+	r := &countRunner{}
+	clk := NewVirtualClock()
+	var slots atomic.Int64
+	l := New[int](r, Config{Clock: clk}, func(int, time.Duration) { slots.Add(1) }, nil)
+	l.Start()
+
+	if n := clk.Advance(5); n != 5 {
+		t.Fatalf("Advance delivered %d ticks, want 5", n)
+	}
+	l.Stop()
+	if slots.Load() != 5 {
+		t.Fatalf("slots = %d, want 5", slots.Load())
+	}
+	// After Stop the clock is stopped: Advance must not block forever.
+	if n := clk.Advance(3); n != 0 {
+		t.Fatalf("Advance after stop delivered %d ticks, want 0", n)
+	}
+}
+
+func TestLoopRealClock(t *testing.T) {
+	r := &countRunner{}
+	var slots atomic.Int64
+	l := New[int](r, Config{Clock: NewRealClock(2 * time.Millisecond)}, func(int, time.Duration) { slots.Add(1) }, nil)
+	l.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for slots.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	l.Stop()
+	if slots.Load() < 2 {
+		t.Fatalf("real clock ran %d slots in 2s, want >= 2", slots.Load())
+	}
+}
+
+func TestLoopOverflowReject(t *testing.T) {
+	r := &countRunner{}
+	l := New[int](r, Config{QueueSize: 1}, nil, nil)
+	// Not started: the queue fills and rejects.
+	if err := l.Do(func() {}); err != nil {
+		t.Fatalf("first Do: %v", err)
+	}
+	if err := l.Do(func() {}); err != ErrQueueFull {
+		t.Fatalf("second Do = %v, want ErrQueueFull", err)
+	}
+	s := l.Stats()
+	if s.Enqueued != 1 || s.Rejected != 1 || s.QueueDepth != 1 || s.QueueCap != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	l.Stop() // drains the queued command
+}
+
+func TestLoopOverflowBlock(t *testing.T) {
+	r := &countRunner{}
+	l := New[int](r, Config{QueueSize: 1, Overflow: OverflowBlock}, nil, nil)
+	if err := l.Do(func() {}); err != nil {
+		t.Fatalf("first Do: %v", err)
+	}
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- l.Do(func() {}) }()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("blocking Do returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	l.Start() // consumes the queue, unblocking the pending Do
+	if err := <-unblocked; err != nil {
+		t.Fatalf("blocking Do after start: %v", err)
+	}
+	l.Stop()
+}
+
+func TestLoopStopDrainsAndFinalizes(t *testing.T) {
+	r := &countRunner{}
+	var ran atomic.Int64
+	var finalSlots int
+	l := New[int](r, Config{}, nil, func(step func()) {
+		step() // drain one extra slot during shutdown
+		finalSlots = r.slots
+	})
+	l.Start()
+	for i := 0; i < 10; i++ {
+		if err := l.Do(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	l.Stop()
+	if ran.Load() != 10 {
+		t.Fatalf("drained %d queued commands, want 10", ran.Load())
+	}
+	if finalSlots != 1 {
+		t.Fatalf("finalize step ran %d slots, want 1", finalSlots)
+	}
+	if err := l.Do(func() {}); err != ErrStopped {
+		t.Fatalf("Do after Stop = %v, want ErrStopped", err)
+	}
+	if err := l.StepSlots(1); err != ErrStopped {
+		t.Fatalf("StepSlots after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestLoopStopUnblocksPendingBlockingDo pins the shutdown ordering: Stop
+// must wake a Do parked on a full queue of a never-started loop instead
+// of deadlocking on the send mutex.
+func TestLoopStopUnblocksPendingBlockingDo(t *testing.T) {
+	r := &countRunner{}
+	l := New[int](r, Config{QueueSize: 1, Overflow: OverflowBlock}, nil, nil)
+	var ran atomic.Int64
+	if err := l.Do(func() { ran.Add(1) }); err != nil {
+		t.Fatalf("first Do: %v", err)
+	}
+	pending := make(chan error, 1)
+	go func() { pending <- l.Do(func() { ran.Add(1) }) }()
+	time.Sleep(10 * time.Millisecond) // let the second Do park on the full queue
+
+	stopped := make(chan struct{})
+	go func() { l.Stop(); close(stopped) }()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked against a blocking Do")
+	}
+	err := <-pending
+	// The parked Do either got woken with ErrStopped, or squeezed into the
+	// queue as the drain freed space — then its command must have run.
+	switch err {
+	case ErrStopped:
+		if ran.Load() != 1 {
+			t.Fatalf("ran = %d, want 1 (only the accepted command)", ran.Load())
+		}
+	case nil:
+		if ran.Load() != 2 {
+			t.Fatalf("accepted command never ran: ran = %d, want 2", ran.Load())
+		}
+	default:
+		t.Fatalf("pending Do = %v, want nil or ErrStopped", err)
+	}
+}
+
+func TestLoopConcurrentDo(t *testing.T) {
+	r := &countRunner{}
+	l := New[int](r, Config{QueueSize: 4096, Overflow: OverflowBlock}, nil, nil)
+	l.Start()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := l.Do(func() { ran.Add(1) }); err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Interleave slot execution with the submitters.
+	for i := 0; i < 10; i++ {
+		if err := l.StepSlots(1); err != nil {
+			t.Fatalf("StepSlots: %v", err)
+		}
+	}
+	wg.Wait()
+	l.Stop()
+	if ran.Load() != 800 {
+		t.Fatalf("ran %d commands, want 800", ran.Load())
+	}
+	if s := l.Stats(); s.Slots != 10 {
+		t.Fatalf("slots = %d, want 10", s.Slots)
+	}
+}

@@ -65,11 +65,21 @@ func TestAggregatorSchedulingPolicies(t *testing.T) {
 }
 
 func TestSchedulingString(t *testing.T) {
-	if SchedulingOptimal.String() != "Optimal" || SchedulingBaseline.String() != "Baseline" {
-		t.Error("Scheduling.String broken")
+	tests := []struct {
+		s    Scheduling
+		want string
+	}{
+		{SchedulingOptimal, "Optimal"},
+		{SchedulingLocalSearch, "LocalSearch"},
+		{SchedulingBaseline, "Baseline"},
+		{SchedulingEgalitarian, "Egalitarian"},
+		{Scheduling(42), "Unknown"},
+		{Scheduling(-1), "Unknown"},
 	}
-	if Scheduling(99).String() != "Unknown" {
-		t.Error("unknown scheduling label")
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Scheduling(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
 	}
 }
 
