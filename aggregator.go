@@ -16,7 +16,9 @@ type Aggregator struct {
 	world    *World
 	sched    Scheduling
 	baseline bool
+	greedy   core.GreedyConfig
 	ledger   core.Ledger
+	selStats core.SelectionStats
 
 	points    []*PointQuery
 	aggs      []*AggregateQuery
@@ -77,6 +79,33 @@ func WithScheduling(s Scheduling) Option {
 func WithBaselinePipeline() Option {
 	return func(a *Aggregator) { a.baseline = true }
 }
+
+// WithGreedyStrategy selects the candidate-evaluation strategy of the
+// greedy selection core (default StrategyAuto). Results are bit-identical
+// across strategies; only the per-slot work differs.
+func WithGreedyStrategy(s Strategy) Option {
+	return func(a *Aggregator) { a.greedy.Strategy = s }
+}
+
+// WithGreedyConfig sets the full greedy selection configuration
+// (strategy, workers, sharding threshold).
+func WithGreedyConfig(cfg GreedyConfig) Option {
+	return func(a *Aggregator) { a.greedy = cfg }
+}
+
+// SetGreedyStrategy switches the selection strategy for subsequent
+// slots. Like every other Aggregator method it must be called by the
+// goroutine owning the aggregator (the engine's loop when wrapped in an
+// Engine — see Engine.SetGreedyStrategy).
+func (a *Aggregator) SetGreedyStrategy(s Strategy) { a.greedy.Strategy = s }
+
+// GreedyStrategy returns the configured selection strategy.
+func (a *Aggregator) GreedyStrategy() Strategy { return a.greedy.Strategy }
+
+// SelectionStats returns the cumulative selection instrumentation over
+// all executed slots: valuation calls made vs the exhaustive-scan
+// equivalent, lazy-heap re-evaluations and non-submodular fallbacks.
+func (a *Aggregator) SelectionStats() SelectionStats { return a.selStats }
 
 // NewAggregator creates an aggregator over a world.
 func NewAggregator(world *World, opts ...Option) *Aggregator {
@@ -191,6 +220,10 @@ type SlotReport struct {
 	ExtraValue  float64
 	// Events lists event-detection evaluations of this slot.
 	Events []EventNotification
+	// Selection instruments the slot's greedy sensor selection (zero for
+	// pipelines that bypass the greedy core, e.g. baseline or pure point
+	// slots under a non-greedy scheduling policy).
+	Selection SelectionStats
 
 	values   map[string]float64
 	payments map[string]float64
@@ -248,13 +281,14 @@ func (a *Aggregator) RunSlot() *SlotReport {
 
 	if !pureMix {
 		// Point-only slot: honor the configured scheduling policy.
-		res := a.sched.solver()(a.points, offers)
+		res := a.sched.solver(a.greedy)(a.points, offers)
 		a.world.Fleet.Commit(res.Selected)
 		a.ledger.RecordPointResult(res)
 		report.Welfare = res.Welfare()
 		report.TotalCost = res.TotalCost
 		report.SensorsUsed = len(res.Selected)
 		report.PointValue = res.TotalValue
+		report.Selection = res.Stats
 		for qid, o := range res.Outcomes {
 			report.values[qid] = o.Value
 			report.payments[qid] = o.Payment
@@ -271,10 +305,11 @@ func (a *Aggregator) RunSlot() *SlotReport {
 		if a.baseline {
 			res = core.RunMixSlotBaseline(t, mq, offers)
 		} else {
-			res = core.RunMixSlot(t, mq, offers)
+			res = core.RunMixSlotWith(t, mq, offers, a.greedy)
 		}
 		a.world.Fleet.Commit(res.Multi.Selected)
 		a.ledger.RecordMixResult(res)
+		report.Selection = res.Multi.Stats
 		report.Welfare = res.Welfare()
 		report.TotalCost = res.TotalCost
 		report.SensorsUsed = len(res.Multi.Selected)
@@ -367,6 +402,8 @@ func (a *Aggregator) RunSlot() *SlotReport {
 			report.Events = append(report.Events, n)
 		}
 	}
+
+	a.selStats.Accumulate(report.Selection)
 
 	// One-shot queries are consumed; expired continuous queries retire.
 	a.points = nil

@@ -203,6 +203,119 @@ func BenchmarkParallelCandidateEval(b *testing.B) {
 	}
 }
 
+// redundantFleetSlot builds one slot of k-redundancy demand on an
+// n-sensor fleet: §2.2.1 multiple-sensor point queries asking for 10
+// redundant readings each, plus a thin stream of plain point queries.
+// Every multipoint query commits many sensors, so each (sensor, query)
+// pair goes stale many times — the regime where CELF's lazy pruning pays
+// off most (plain one-commit point queries already amortize under the
+// version cache, and aggregate valuations are re-evaluated eagerly
+// because Eq. 5 is not submodular).
+func redundantFleetSlot(seed int64, n int) ([]query.Query, []core.Offer) {
+	world := datasets.NewRWM(seed, n, datasets.SensorConfig{})
+	offers := world.Fleet.Step()
+	w := world.Working
+	rnd := rng.New(seed, "bench-redundant")
+	var qs []query.Query
+	for i := 0; i < 600; i++ {
+		loc := ps.Pt(rnd.Uniform(w.MinX, w.MaxX), rnd.Uniform(w.MinY, w.MaxY))
+		qs = append(qs, query.NewMultiPoint(fmt.Sprintf("mp%d", i), loc, 250+rnd.Uniform(0, 350), world.DMax, 16))
+	}
+	pwl := sim.PointWorkload{QueriesPerSlot: 100, BudgetMean: 15, DMax: world.DMax, Working: world.Working, Grid: world.Grid}
+	for _, q := range pwl.Slot(0, rng.New(seed, "bench-redundant-p")) {
+		qs = append(qs, q)
+	}
+	return qs, offers
+}
+
+// BenchmarkLazyCandidateEval compares the candidate-evaluation
+// strategies of Algorithm 1 on large fleets, reporting the valuation
+// calls actually made next to what the exhaustive version-cached scan
+// would make. Selections are bit-identical across strategies (see
+// TestLazyStrategyLargeFleet); only work differs.
+func BenchmarkLazyCandidateEval(b *testing.B) {
+	for _, wl := range []struct {
+		name string
+		gen  func(int64, int) ([]query.Query, []core.Offer)
+	}{
+		{"mixed", largeFleetSlot},
+		{"redundant", redundantFleetSlot},
+	} {
+		for _, n := range []int{1000, 10000} {
+			qs, offers := wl.gen(1, n)
+			for _, sc := range []struct {
+				name string
+				cfg  core.GreedyConfig
+			}{
+				{"serial", core.GreedyConfig{Strategy: core.StrategySerial}},
+				{"sharded", core.GreedyConfig{Strategy: core.StrategySharded, ParallelThreshold: 1}},
+				{"lazy", core.GreedyConfig{Strategy: core.StrategyLazy}},
+				{"lazy-sharded", core.GreedyConfig{Strategy: core.StrategyLazySharded, ParallelThreshold: 1}},
+			} {
+				b.Run(fmt.Sprintf("%s/%s/sensors=%d", wl.name, sc.name, n), func(b *testing.B) {
+					var calls, exhaustive int64
+					for i := 0; i < b.N; i++ {
+						res := core.GreedySelectWith(qs, offers, sc.cfg)
+						calls += res.Stats.ValuationCalls
+						exhaustive += res.Stats.SerialEquivCalls
+					}
+					b.ReportMetric(float64(calls)/float64(b.N), "valcalls/op")
+					b.ReportMetric(float64(exhaustive)/float64(b.N), "exhaustive-valcalls/op")
+				})
+			}
+		}
+	}
+}
+
+// assertBitIdentical requires got to match serial bit-for-bit
+// (core.DiffMultiResults is the canonical comparison).
+func assertBitIdentical(t *testing.T, label string, serial, got *core.MultiResult) {
+	t.Helper()
+	if diff := core.DiffMultiResults(serial, got); diff != "" {
+		t.Fatalf("%s: %s", label, diff)
+	}
+}
+
+// TestLazyStrategyLargeFleet is the acceptance gate of the lazy fast
+// path at 10k sensors:
+//
+//   - on the mixed slot (points + non-submodular aggregates) every lazy
+//     variant must be bit-identical to the serial scan and never make
+//     more valuation calls;
+//   - on the redundancy-heavy slot it must additionally make at least 3x
+//     fewer valuation calls.
+//
+// Skipped under -short (the -race CI job); the CI bench job runs it
+// unraced.
+func TestLazyStrategyLargeFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-sensor equivalence test skipped in -short mode")
+	}
+	for _, wl := range []struct {
+		name     string
+		gen      func(int64, int) ([]query.Query, []core.Offer)
+		minRatio float64
+	}{
+		{"mixed", largeFleetSlot, 1},
+		{"redundant", redundantFleetSlot, 3},
+	} {
+		qs, offers := wl.gen(1, 10000)
+		serial := core.GreedySelectWith(qs, offers, core.GreedyConfig{Strategy: core.StrategySerial})
+		for _, strat := range []core.Strategy{core.StrategyLazy, core.StrategyLazySharded} {
+			lazy := core.GreedySelectWith(qs, offers, core.GreedyConfig{Strategy: strat})
+			assertBitIdentical(t, fmt.Sprintf("%s/%s", wl.name, strat), serial, lazy)
+			ratio := float64(serial.Stats.ValuationCalls) / float64(lazy.Stats.ValuationCalls)
+			t.Logf("%s/%s: %d valuation calls vs serial %d (%.2fx fewer), %d reevals, %d violations, %d rescans",
+				wl.name, strat, lazy.Stats.ValuationCalls, serial.Stats.ValuationCalls, ratio,
+				lazy.Stats.LazyReevaluations, lazy.Stats.SubmodularityViolations, lazy.Stats.FallbackRescans)
+			if ratio < wl.minRatio {
+				t.Errorf("%s/%s: only %.2fx fewer valuation calls, want >= %.0fx",
+					wl.name, strat, ratio, wl.minRatio)
+			}
+		}
+	}
+}
+
 // BenchmarkEngineThroughput measures end-to-end queries/sec through the
 // streaming engine: enqueue a slot's worth of point and aggregate queries
 // (the mix pipeline — the serving hot path), execute the slot, and

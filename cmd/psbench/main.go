@@ -5,6 +5,14 @@
 // driving the streaming engine with concurrent submitters on a virtual
 // clock and reporting end-to-end throughput.
 //
+// It is also the repo's reproducible perf harness: named fixed-seed
+// scenarios (dense-urban, sparse-rural, bursty-arrival,
+// continuous-heavy) run the slot pipeline under a selectable
+// candidate-evaluation strategy and emit machine-readable
+// BENCH_<scenario>.json records (see scenarios.go); CI runs them every
+// push and gates on slot-latency regressions against the checked-in
+// baselines under bench/.
+//
 // Usage:
 //
 //	psbench -figure all            # everything (several minutes)
@@ -12,6 +20,7 @@
 //	psbench -figure fig3 -slots 10 # reduced horizon
 //	psbench -list                  # list figure IDs
 //	psbench -engine -engine-sensors 10000 -engine-slots 20
+//	psbench -scenario all -strategy lazy -json -out . -baseline bench
 package main
 
 import (
@@ -37,6 +46,12 @@ func main() {
 		list    = flag.Bool("list", false, "list available figure IDs")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 
+		scenarioF   = flag.String("scenario", "", "run a named perf scenario (dense-urban, sparse-rural, bursty-arrival, continuous-heavy, or 'all') instead of figures")
+		strategy    = flag.String("strategy", "lazy", "scenario mode: selection strategy (auto, serial, sharded, lazy, lazy-sharded)")
+		jsonOut     = flag.Bool("json", false, "scenario mode: write machine-readable BENCH_<scenario>.json files")
+		outDir      = flag.String("out", ".", "scenario mode: output directory for BENCH_*.json")
+		baselineDir = flag.String("baseline", "", "scenario mode: compare against BENCH_*.json in this directory; exit 1 on >2x normalized slot-latency regression")
+
 		engineMode = flag.Bool("engine", false, "run the streaming-engine load generator instead of figures")
 		engSensors = flag.Int("engine-sensors", 1000, "engine mode: fleet size")
 		engSlots   = flag.Int("engine-slots", 50, "engine mode: slots to run")
@@ -45,6 +60,10 @@ func main() {
 		engClients = flag.Int("engine-clients", 8, "engine mode: concurrent submitter goroutines")
 	)
 	flag.Parse()
+
+	if *scenarioF != "" {
+		os.Exit(runScenarioMode(*scenarioF, *strategy, *slots, *seed, *jsonOut, *outDir, *baselineDir))
+	}
 
 	if *engineMode {
 		seed := *seed

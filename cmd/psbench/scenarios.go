@@ -1,0 +1,463 @@
+package main
+
+// The reproducible perf harness: named scenarios with fixed seeds and
+// fixed workload schedules, run through the Aggregator with a selectable
+// candidate-evaluation strategy. Each run records slot-latency
+// percentiles, the greedy core's valuation-call instrumentation, welfare
+// and allocation counts; -json writes one machine-readable
+// BENCH_<scenario>.json per scenario so the perf trajectory of the repo
+// is tracked in CI (see .github/workflows/ci.yml's bench job).
+//
+// Latency gates compare against a checked-in baseline (bench/) after
+// normalizing by a fixed CPU calibration loop, so a slower CI runner
+// does not read as a regression. Valuation calls, welfare and
+// allocations are machine-independent for a fixed seed and are reported
+// for drift inspection.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	ps "repro"
+	"repro/internal/rng"
+)
+
+// scenario is one named, fixed-seed workload.
+type scenario struct {
+	Name    string
+	Desc    string
+	Seed    int64
+	Sensors int
+	Slots   int
+	// setup submits long-lived (continuous) queries before slot 0.
+	setup func(r *scenarioRun)
+	// slot submits one slot's one-shot queries.
+	slot func(r *scenarioRun, t int)
+}
+
+// scenarioRun is the mutable state while a scenario executes.
+type scenarioRun struct {
+	sc         scenario
+	world      *ps.World
+	agg        *ps.Aggregator
+	rnd        *rng.Stream
+	oneShots   []string // IDs submitted for the current slot
+	continuous []string // IDs of live continuous queries
+	submitted  int
+}
+
+func (r *scenarioRun) id(prefix string, t, i int) string {
+	return fmt.Sprintf("%s-%s%d-%d", r.sc.Name, prefix, t, i)
+}
+
+func (r *scenarioRun) point(t, i int, budget float64) {
+	w := r.world.Working
+	id := r.id("pt", t, i)
+	r.agg.SubmitPoint(id, ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)), budget)
+	r.oneShots = append(r.oneShots, id)
+	r.submitted++
+}
+
+func (r *scenarioRun) multiPoint(t, i int, budget float64, k int) {
+	w := r.world.Working
+	id := r.id("mp", t, i)
+	r.agg.SubmitMultiPoint(id, ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)), budget, k)
+	r.oneShots = append(r.oneShots, id)
+	r.submitted++
+}
+
+func (r *scenarioRun) aggregate(t, i int, budget, minDim, maxDim float64) {
+	w := r.world.Working
+	x := r.rnd.Uniform(w.MinX, w.MaxX-maxDim)
+	y := r.rnd.Uniform(w.MinY, w.MaxY-maxDim)
+	id := r.id("agg", t, i)
+	r.agg.SubmitAggregate(id, ps.NewRect(x, y, x+r.rnd.Uniform(minDim, maxDim), y+r.rnd.Uniform(minDim, maxDim)), budget)
+	r.oneShots = append(r.oneShots, id)
+	r.submitted++
+}
+
+func (r *scenarioRun) trajectory(t, i int, budget float64) {
+	w := r.world.Working
+	x, y := r.rnd.Uniform(w.MinX, w.MaxX-20), r.rnd.Uniform(w.MinY, w.MaxY-20)
+	tr := ps.Trajectory{Waypoints: []ps.Point{
+		ps.Pt(x, y),
+		ps.Pt(x+r.rnd.Uniform(5, 20), y+r.rnd.Uniform(5, 20)),
+	}}
+	id := r.id("tr", t, i)
+	r.agg.SubmitTrajectory(id, tr, budget)
+	r.oneShots = append(r.oneShots, id)
+	r.submitted++
+}
+
+// scenarios is the pinned scenario registry. Workload sizes are chosen
+// so the whole suite finishes within a few minutes on a 2-core CI
+// runner; seeds and schedules must stay fixed — BENCH_*.json numbers
+// are only comparable across runs of identical scenarios.
+var scenarios = []scenario{
+	{
+		Name:    "dense-urban",
+		Desc:    "big fleet, heavy mixed demand: 250 points + 20 k-redundancy multipoints + 8 aggregates per slot",
+		Seed:    11,
+		Sensors: 4000,
+		Slots:   12,
+		slot: func(r *scenarioRun, t int) {
+			for i := 0; i < 250; i++ {
+				r.point(t, i, 10+r.rnd.Uniform(0, 20))
+			}
+			for i := 0; i < 20; i++ {
+				r.multiPoint(t, i, 100+r.rnd.Uniform(0, 150), 8)
+			}
+			for i := 0; i < 8; i++ {
+				r.aggregate(t, i, 200+r.rnd.Uniform(0, 200), 10, 25)
+			}
+		},
+	},
+	{
+		Name:    "sparse-rural",
+		Desc:    "small fleet, thin demand: 40 points + 2 aggregates per slot",
+		Seed:    12,
+		Sensors: 250,
+		Slots:   20,
+		slot: func(r *scenarioRun, t int) {
+			for i := 0; i < 40; i++ {
+				r.point(t, i, 10+r.rnd.Uniform(0, 20))
+			}
+			for i := 0; i < 2; i++ {
+				r.aggregate(t, i, 150+r.rnd.Uniform(0, 150), 15, 35)
+			}
+		},
+	},
+	{
+		Name:    "bursty-arrival",
+		Desc:    "quiet baseline with 500-query bursts every 6th slot",
+		Seed:    13,
+		Sensors: 1500,
+		Slots:   24,
+		slot: func(r *scenarioRun, t int) {
+			n, aggs := 30, 0
+			if t%6 == 0 {
+				n, aggs = 500, 6
+			}
+			for i := 0; i < n; i++ {
+				r.point(t, i, 10+r.rnd.Uniform(0, 20))
+			}
+			for i := 0; i < aggs; i++ {
+				r.aggregate(t, i, 200+r.rnd.Uniform(0, 200), 10, 25)
+			}
+		},
+	},
+	{
+		Name:    "continuous-heavy",
+		Desc:    "monitoring-dominated: 20 locmon + 8 event + 4 region-event continuous queries over light one-shot traffic",
+		Seed:    14,
+		Sensors: 1000,
+		Slots:   20,
+		setup: func(r *scenarioRun) {
+			w := r.world.Working
+			for i := 0; i < 20; i++ {
+				id := fmt.Sprintf("%s-lm-%d", r.sc.Name, i)
+				r.agg.SubmitLocationMonitoring(id,
+					ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
+					r.sc.Slots, 150, 6)
+				r.continuous = append(r.continuous, id)
+				r.submitted++
+			}
+			for i := 0; i < 8; i++ {
+				id := fmt.Sprintf("%s-ev-%d", r.sc.Name, i)
+				r.agg.SubmitEventDetection(id,
+					ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
+					r.sc.Slots, 0.7, 0.8, 40)
+				r.continuous = append(r.continuous, id)
+				r.submitted++
+			}
+			for i := 0; i < 4; i++ {
+				id := fmt.Sprintf("%s-re-%d", r.sc.Name, i)
+				x := r.rnd.Uniform(w.MinX, w.MaxX-20)
+				y := r.rnd.Uniform(w.MinY, w.MaxY-20)
+				r.agg.SubmitRegionEvent(id, ps.NewRect(x, y, x+15, y+15), r.sc.Slots, 0.7, 0.6, 80)
+				r.continuous = append(r.continuous, id)
+				r.submitted++
+			}
+		},
+		slot: func(r *scenarioRun, t int) {
+			for i := 0; i < 40; i++ {
+				r.point(t, i, 10+r.rnd.Uniform(0, 20))
+			}
+			for i := 0; i < 5; i++ {
+				r.multiPoint(t, i, 60+r.rnd.Uniform(0, 80), 5)
+			}
+			for i := 0; i < 3; i++ {
+				r.trajectory(t, i, 50+r.rnd.Uniform(0, 50))
+			}
+		},
+	},
+}
+
+func scenarioByName(name string) (scenario, bool) {
+	for _, sc := range scenarios {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return scenario{}, false
+}
+
+// benchResult is the machine-readable record of one scenario run
+// (BENCH_<scenario>.json). Latency fields depend on the machine;
+// valuation counts, welfare and allocation counts are deterministic for
+// a fixed seed and scenario.
+type benchResult struct {
+	Scenario    string  `json:"scenario"`
+	Description string  `json:"description"`
+	Strategy    string  `json:"strategy"`
+	Seed        int64   `json:"seed"`
+	Sensors     int     `json:"sensors"`
+	Slots       int     `json:"slots"`
+	Submitted   int     `json:"queries_submitted"`
+	Answered    int     `json:"query_slots_answered"`
+	SlotMsP50   float64 `json:"slot_ms_p50"`
+	SlotMsP95   float64 `json:"slot_ms_p95"`
+	SlotMsMax   float64 `json:"slot_ms_max"`
+	SlotMsMean  float64 `json:"slot_ms_mean"`
+	// CalibrationMs is the wall time of a fixed single-core CPU loop on
+	// this machine; latency gates compare p50/calibration ratios so the
+	// baseline transfers across machines.
+	CalibrationMs           float64 `json:"calibration_ms"`
+	ValuationCalls          int64   `json:"valuation_calls"`
+	ExhaustiveEquivCalls    int64   `json:"exhaustive_equiv_calls"`
+	ValuationCallsSaved     int64   `json:"valuation_calls_saved"`
+	LazyReevaluations       int64   `json:"lazy_reevaluations"`
+	SubmodularityViolations int64   `json:"submodularity_violations"`
+	FallbackRescans         int64   `json:"fallback_rescans"`
+	Welfare                 float64 `json:"welfare"`
+	TotalCost               float64 `json:"total_cost"`
+	Allocs                  uint64  `json:"allocs"`
+	AllocBytes              uint64  `json:"alloc_bytes"`
+	GoVersion               string  `json:"go_version"`
+}
+
+// calibrationSink defeats dead-code elimination of the calibration loop.
+var calibrationSink uint64
+
+// calibrate times a fixed xorshift loop — a deterministic single-core
+// workload whose wall time tracks the machine's scalar speed.
+func calibrate() float64 {
+	x := uint64(88172645463325252)
+	start := time.Now()
+	for i := 0; i < 60_000_000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	calibrationSink = x
+	return float64(time.Since(start).Nanoseconds()) / 1e6
+}
+
+// runScenario executes one scenario with the given strategy and returns
+// its record.
+func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride int64) benchResult {
+	if slotsOverride > 0 {
+		sc.Slots = slotsOverride
+	}
+	if seedOverride != 0 {
+		sc.Seed = seedOverride
+	}
+	r := &scenarioRun{
+		sc:    sc,
+		world: ps.NewRWMWorld(sc.Seed, sc.Sensors, ps.SensorConfig{}),
+		rnd:   rng.New(sc.Seed, "psbench-"+sc.Name),
+	}
+	r.agg = ps.NewAggregator(r.world, ps.WithGreedyStrategy(strat))
+	if sc.setup != nil {
+		sc.setup(r)
+	}
+
+	var stats ps.SelectionStats
+	var welfare, totalCost float64
+	var answered int
+	latencies := make([]float64, 0, sc.Slots)
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for t := 0; t < sc.Slots; t++ {
+		r.oneShots = r.oneShots[:0]
+		if sc.slot != nil {
+			sc.slot(r, t)
+		}
+		start := time.Now()
+		rep := r.agg.RunSlot()
+		latencies = append(latencies, float64(time.Since(start).Nanoseconds())/1e6)
+		welfare += rep.Welfare
+		totalCost += rep.TotalCost
+		stats.Accumulate(rep.Selection)
+		for _, id := range r.oneShots {
+			if rep.Answered(id) {
+				answered++
+			}
+		}
+		for _, id := range r.continuous {
+			if rep.Answered(id) {
+				answered++
+			}
+		}
+	}
+	runtime.ReadMemStats(&m1)
+
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	var mean float64
+	for _, l := range sorted {
+		mean += l
+	}
+	mean /= float64(len(sorted))
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		return sorted[max(0, min(i, len(sorted)-1))]
+	}
+
+	return benchResult{
+		Scenario:                sc.Name,
+		Description:             sc.Desc,
+		Strategy:                strat.String(),
+		Seed:                    sc.Seed,
+		Sensors:                 sc.Sensors,
+		Slots:                   sc.Slots,
+		Submitted:               r.submitted,
+		Answered:                answered,
+		SlotMsP50:               pct(0.50),
+		SlotMsP95:               pct(0.95),
+		SlotMsMax:               sorted[len(sorted)-1],
+		SlotMsMean:              mean,
+		CalibrationMs:           calibrate(),
+		ValuationCalls:          stats.ValuationCalls,
+		ExhaustiveEquivCalls:    stats.SerialEquivCalls,
+		ValuationCallsSaved:     stats.SavedCalls(),
+		LazyReevaluations:       stats.LazyReevaluations,
+		SubmodularityViolations: stats.SubmodularityViolations,
+		FallbackRescans:         stats.FallbackRescans,
+		Welfare:                 welfare,
+		TotalCost:               totalCost,
+		Allocs:                  m1.Mallocs - m0.Mallocs,
+		AllocBytes:              m1.TotalAlloc - m0.TotalAlloc,
+		GoVersion:               runtime.Version(),
+	}
+}
+
+// maxLatencyRegression is the baseline gate: fail when the normalized
+// p50 slot latency exceeds the baseline's by more than this factor.
+const maxLatencyRegression = 2.0
+
+// checkBaseline compares a run against bench/<BENCH_name.json>. It
+// returns an error string ("" if fine) and whether a baseline existed.
+func checkBaseline(res benchResult, baselineDir string) (string, bool) {
+	path := filepath.Join(baselineDir, benchFileName(res.Scenario))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", false
+	}
+	var base benchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Sprintf("baseline %s unreadable: %v", path, err), true
+	}
+	if base.SlotMsP50 <= 0 || base.CalibrationMs <= 0 || res.CalibrationMs <= 0 {
+		return "", true
+	}
+	newNorm := res.SlotMsP50 / res.CalibrationMs
+	oldNorm := base.SlotMsP50 / base.CalibrationMs
+	if newNorm > maxLatencyRegression*oldNorm {
+		return fmt.Sprintf("%s: normalized p50 slot latency %.3f is %.2fx the baseline %.3f (limit %.1fx); raw %.2fms vs %.2fms, calibration %.0fms vs %.0fms",
+			res.Scenario, newNorm, newNorm/oldNorm, oldNorm, maxLatencyRegression,
+			res.SlotMsP50, base.SlotMsP50, res.CalibrationMs, base.CalibrationMs), true
+	}
+	return "", true
+}
+
+func benchFileName(scenario string) string {
+	return fmt.Sprintf("BENCH_%s.json", scenario)
+}
+
+// runScenarioMode is the -scenario entry point; it returns the process
+// exit code.
+func runScenarioMode(names string, strategy string, slots int, seed int64, emitJSON bool, outDir, baselineDir string) int {
+	strat, err := ps.ParseStrategy(strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		return 2
+	}
+	var selected []scenario
+	if names == "all" {
+		selected = scenarios
+	} else {
+		sc, ok := scenarioByName(names)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "psbench: unknown scenario %q (have:", names)
+			for _, s := range scenarios {
+				fmt.Fprintf(os.Stderr, " %s", s.Name)
+			}
+			fmt.Fprintln(os.Stderr, ", all)")
+			return 2
+		}
+		selected = []scenario{sc}
+	}
+
+	exit := 0
+	for _, sc := range selected {
+		start := time.Now()
+		res := runScenario(sc, strat, slots, seed)
+		fmt.Printf("== %s (%d sensors, %d slots, strategy %s) — %s\n",
+			res.Scenario, res.Sensors, res.Slots, res.Strategy, sc.Desc)
+		fmt.Printf("%-26s p50 %.2fms  p95 %.2fms  max %.2fms  mean %.2fms\n",
+			"slot latency:", res.SlotMsP50, res.SlotMsP95, res.SlotMsMax, res.SlotMsMean)
+		fmt.Printf("%-26s %d made, %d exhaustive-equivalent (%d saved)\n",
+			"valuation calls:", res.ValuationCalls, res.ExhaustiveEquivCalls, res.ValuationCallsSaved)
+		fmt.Printf("%-26s %d reevals, %d violations, %d rescans\n",
+			"lazy heap:", res.LazyReevaluations, res.SubmodularityViolations, res.FallbackRescans)
+		fmt.Printf("%-26s %.1f welfare, %.1f cost, %d/%d query-slots answered\n",
+			"outcome:", res.Welfare, res.TotalCost, res.Answered, res.Submitted)
+		fmt.Printf("%-26s %d allocs, %.1f MB\n",
+			"allocations:", res.Allocs, float64(res.AllocBytes)/(1<<20))
+
+		if emitJSON {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				return 1
+			}
+			path := filepath.Join(outDir, benchFileName(res.Scenario))
+			buf, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				return 1
+			}
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				return 1
+			}
+			fmt.Printf("%-26s %s\n", "json:", path)
+		}
+		if baselineDir != "" {
+			msg, found := checkBaseline(res, baselineDir)
+			switch {
+			case msg != "":
+				fmt.Fprintf(os.Stderr, "psbench: REGRESSION %s\n", msg)
+				exit = 1
+			case !found:
+				fmt.Printf("%-26s none for %s (skipped)\n", "baseline:", res.Scenario)
+			default:
+				fmt.Printf("%-26s ok (within %.1fx of %s)\n", "baseline:",
+					maxLatencyRegression, filepath.Join(baselineDir, benchFileName(res.Scenario)))
+			}
+		}
+		fmt.Printf("-- %s done in %v\n\n", res.Scenario, time.Since(start).Round(time.Millisecond))
+	}
+	return exit
+}

@@ -7,15 +7,19 @@
 //	POST   /query        submit a query (JSON body, see queryRequest)
 //	GET    /query/{id}   status + accumulated per-slot results
 //	DELETE /query/{id}   cancel a pending or continuous query
-//	GET    /metrics      engine-wide metrics snapshot
+//	GET    /metrics      engine-wide metrics snapshot (incl. valuation-
+//	                     call and lazy-heap counters of the greedy core)
+//	GET    /strategy     current candidate-evaluation strategy
+//	POST   /strategy     switch it at runtime ({"strategy":"lazy"})
 //	GET    /healthz      liveness + current slot
 //
 // Example:
 //
-//	psserve -addr :8080 -world rwm -sensors 200 -interval 1s
+//	psserve -addr :8080 -world rwm -sensors 200 -interval 1s -strategy lazy
 //	curl -s -X POST localhost:8080/query -d \
 //	  '{"type":"point","loc":{"x":30,"y":30},"budget":15}'
 //	curl -s localhost:8080/query/q1
+//	curl -s -X POST localhost:8080/strategy -d '{"strategy":"lazy-sharded"}'
 package main
 
 import (
@@ -43,7 +47,8 @@ func main() {
 		sensors  = flag.Int("sensors", 200, "sensor count (rwm world only)")
 		seed     = flag.Int64("seed", 1, "world seed")
 		interval = flag.Duration("interval", time.Second, "slot clock interval")
-		sched    = flag.String("sched", "optimal", "scheduling: optimal, localsearch, baseline or egalitarian")
+		sched    = flag.String("sched", "optimal", "scheduling: optimal, localsearch, baseline, egalitarian or greedy")
+		strategy = flag.String("strategy", "auto", "greedy selection strategy: auto, serial, sharded, lazy or lazy-sharded")
 		queue    = flag.Int("queue", 1024, "ingest queue size")
 		drain    = flag.Int("drain", 64, "max slots run at shutdown to drain continuous queries")
 		retain   = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable")
@@ -60,18 +65,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psserve:", err)
 		os.Exit(2)
 	}
+	strat, err := ps.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psserve:", err)
+		os.Exit(2)
+	}
 
 	eng := ps.NewEngine(
-		ps.NewAggregator(w, ps.WithScheduling(policy)),
+		ps.NewAggregator(w, ps.WithScheduling(policy), ps.WithGreedyStrategy(strat)),
 		ps.WithSlotInterval(*interval),
 		ps.WithQueueSize(*queue),
 		ps.WithDrainSlots(*drain),
 	)
 	eng.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(eng, w, *retain).handler()}
+	srv := &http.Server{Addr: *addr, Handler: newServer(eng, w, *retain, strat).handler()}
 	go func() {
-		log.Printf("psserve: serving %s world (%d sensors) on %s, slot every %v", *world, *sensors, *addr, *interval)
+		log.Printf("psserve: serving %s world (%d sensors) on %s, slot every %v, strategy %s",
+			*world, *sensors, *addr, *interval, strat)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("psserve: %v", err)
 		}
@@ -112,6 +123,8 @@ func parseScheduling(s string) (ps.Scheduling, error) {
 		return ps.SchedulingBaseline, nil
 	case "egalitarian":
 		return ps.SchedulingEgalitarian, nil
+	case "greedy":
+		return ps.SchedulingGreedy, nil
 	default:
 		return 0, fmt.Errorf("unknown scheduling %q", s)
 	}
@@ -128,6 +141,9 @@ type server struct {
 	world  *ps.World
 	retain time.Duration
 	autoID atomic.Int64
+	// strategy mirrors the engine's configured selection strategy for
+	// display; writes go through POST /strategy.
+	strategy atomic.Int32
 
 	mu      sync.Mutex
 	queries map[string]*queryRecord
@@ -141,8 +157,10 @@ const sweepEvery = 256
 // continuous queries; older entries are discarded and counted.
 const maxResultsPerQuery = 1024
 
-func newServer(eng *ps.Engine, world *ps.World, retain time.Duration) *server {
-	return &server{eng: eng, world: world, retain: retain, queries: make(map[string]*queryRecord)}
+func newServer(eng *ps.Engine, world *ps.World, retain time.Duration, strat ps.Strategy) *server {
+	s := &server{eng: eng, world: world, retain: retain, queries: make(map[string]*queryRecord)}
+	s.strategy.Store(int32(strat))
+	return s
 }
 
 // sweepLocked evicts finished records past the retention window. Caller
@@ -165,6 +183,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /query/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /strategy", s.handleGetStrategy)
+	mux.HandleFunc("POST /strategy", s.handleSetStrategy)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -484,7 +504,51 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"slot_latency_last": m.SlotLatencyLast.String(),
 		"slot_latency_avg":  m.SlotLatencyAvg.String(),
 		"slot_latency_max":  m.SlotLatencyMax.String(),
+		// Greedy selection core instrumentation (see ps.SelectionStats).
+		"strategy":                 ps.Strategy(s.strategy.Load()).String(),
+		"strategy_last_slot":       m.Strategy,
+		"valuation_calls":          m.ValuationCalls,
+		"valuation_calls_saved":    m.ValuationCallsSaved,
+		"lazy_reevaluations":       m.LazyReevaluations,
+		"submodularity_violations": m.SubmodularityViolations,
+		"fallback_rescans":         m.FallbackRescans,
 	})
+}
+
+func (s *server) handleGetStrategy(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{"strategy": ps.Strategy(s.strategy.Load()).String()})
+}
+
+// handleSetStrategy switches the candidate-evaluation strategy of the
+// live engine. Selections are bit-identical across strategies, so the
+// switch is safe mid-stream; it takes effect from the next slot.
+func (s *server) handleSetStrategy(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Strategy string `json:"strategy"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	// ParseStrategy treats "" as auto; an absent field must not silently
+	// reset a live engine, so require an explicit name here.
+	if req.Strategy == "" {
+		httpError(w, http.StatusBadRequest, `missing "strategy" (want auto, serial, sharded, lazy or lazy-sharded)`)
+		return
+	}
+	strat, err := ps.ParseStrategy(req.Strategy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.eng.SetGreedyStrategy(strat); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "set strategy: %v", err)
+		return
+	}
+	s.strategy.Store(int32(strat))
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{"strategy": strat.String(), "status": "ok"})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

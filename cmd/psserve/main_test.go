@@ -14,12 +14,12 @@ import (
 
 // newTestStack builds a virtual-clock engine behind the HTTP handler so
 // the test controls slot execution deterministically.
-func newTestStack(t *testing.T) (*ps.Engine, *httptest.Server) {
+func newTestStack(t *testing.T, opts ...ps.Option) (*ps.Engine, *httptest.Server) {
 	t.Helper()
 	world := ps.NewRWMWorld(1, 200, ps.SensorConfig{})
-	eng := ps.NewEngine(ps.NewAggregator(world))
+	eng := ps.NewEngine(ps.NewAggregator(world, opts...))
 	eng.Start()
-	ts := httptest.NewServer(newServer(eng, world, 10*time.Minute).handler())
+	ts := httptest.NewServer(newServer(eng, world, 10*time.Minute, ps.StrategyAuto).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Stop()
@@ -205,11 +205,68 @@ func TestServeBadRequests(t *testing.T) {
 	}
 }
 
+// TestServeStrategyAndSelectionMetrics drives a mixed slot through the
+// lazy strategy and checks that /metrics exposes the valuation-call and
+// lazy-heap counters, and that /strategy switches at runtime.
+func TestServeStrategyAndSelectionMetrics(t *testing.T) {
+	eng, ts := newTestStack(t, ps.WithGreedyStrategy(ps.StrategyLazy))
+
+	// An aggregate query routes the slot through the greedy mix pipeline.
+	status, _ := postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "aggregate", "id": "a1",
+		"region": map[string]float64{"x0": 20, "y0": 20, "x1": 45, "y1": 45}, "budget": 300,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit aggregate: status %d", status)
+	}
+	postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "point", "id": "p1", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
+	})
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+
+	status, m := getJSON(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if m["valuation_calls"].(float64) <= 0 {
+		t.Errorf("valuation_calls = %v, want > 0", m["valuation_calls"])
+	}
+	if m["strategy_last_slot"] != "lazy" {
+		t.Errorf("strategy_last_slot = %v, want lazy", m["strategy_last_slot"])
+	}
+	for _, key := range []string{"valuation_calls_saved", "lazy_reevaluations", "submodularity_violations", "fallback_rescans"} {
+		if _, ok := m[key].(float64); !ok {
+			t.Errorf("metrics missing %s: %v", key, m[key])
+		}
+	}
+
+	// Runtime strategy switch: reported by GET /strategy and used by the
+	// next slot.
+	status, resp := postJSON(t, ts.URL+"/strategy", map[string]any{"strategy": "sharded"})
+	if status != http.StatusOK || resp["strategy"] != "sharded" {
+		t.Fatalf("set strategy: status %d resp %v", status, resp)
+	}
+	status, resp = getJSON(t, ts.URL+"/strategy")
+	if status != http.StatusOK || resp["strategy"] != "sharded" {
+		t.Fatalf("get strategy: status %d resp %v", status, resp)
+	}
+	if status, _ := postJSON(t, ts.URL+"/strategy", map[string]any{"strategy": "nonsense"}); status != http.StatusBadRequest {
+		t.Errorf("bad strategy: status %d, want 400", status)
+	}
+	// A missing "strategy" field must not silently reset a live engine
+	// to auto.
+	if status, _ := postJSON(t, ts.URL+"/strategy", map[string]any{}); status != http.StatusBadRequest {
+		t.Errorf("empty strategy: status %d, want 400", status)
+	}
+}
+
 func TestRegistrySweepEvictsFinishedRecords(t *testing.T) {
 	world := ps.NewRWMWorld(2, 50, ps.SensorConfig{})
 	eng := ps.NewEngine(ps.NewAggregator(world))
 	defer eng.Stop()
-	s := newServer(eng, world, 0) // zero retention: done records evict immediately
+	s := newServer(eng, world, 0, ps.StrategyAuto) // zero retention: done records evict immediately
 
 	s.queries["old-done"] = &queryRecord{id: "old-done", done: true, doneAt: time.Now().Add(-time.Minute)}
 	s.queries["live"] = &queryRecord{id: "live"}

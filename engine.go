@@ -124,6 +124,17 @@ type EngineMetrics struct {
 	// buffer was full.
 	ResultsDelivered int64
 	ResultsDropped   int64
+	// Selection instrumentation accumulated over all slots: valuation
+	// calls the greedy core made, what an exhaustive scan would have
+	// made (their difference is the lazy strategy's pruning), lazy-heap
+	// re-evaluations and non-submodular fallback rescans. Strategy is
+	// the label of the most recent slot's effective strategy.
+	Strategy                string
+	ValuationCalls          int64
+	ValuationCallsSaved     int64
+	LazyReevaluations       int64
+	SubmodularityViolations int64
+	FallbackRescans         int64
 	// Ingest queue occupancy and slot execution latency.
 	QueueDepth      int
 	QueueCap        int
@@ -231,6 +242,15 @@ func (e *Engine) Start() { e.loop.Start() }
 // Whatever is still live after the cap is closed with ErrEngineStopped.
 // Stop blocks until the loop goroutine exits.
 func (e *Engine) Stop() { e.loop.Stop() }
+
+// SetGreedyStrategy switches the aggregator's candidate-evaluation
+// strategy for subsequent slots. Safe from any goroutine: the change is
+// applied on the event loop. It returns an enqueue error (queue full or
+// engine stopped); results are unaffected either way — strategies are
+// bit-identical.
+func (e *Engine) SetGreedyStrategy(s Strategy) error {
+	return e.loop.Do(func() { e.agg.SetGreedyStrategy(s) })
+}
 
 // RunSlots synchronously executes n slots on the event loop and returns
 // when they have all run — the virtual/fast-forward clock used by tests,
@@ -422,6 +442,14 @@ func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
 	e.mu.Lock()
 	e.m.LastSlot = rep.Slot
 	e.m.LastWelfare = rep.Welfare
+	if rep.Selection.Strategy != "" {
+		e.m.Strategy = rep.Selection.Strategy
+	}
+	e.m.ValuationCalls += rep.Selection.ValuationCalls
+	e.m.ValuationCallsSaved += rep.Selection.SavedCalls()
+	e.m.LazyReevaluations += rep.Selection.LazyReevaluations
+	e.m.SubmodularityViolations += rep.Selection.SubmodularityViolations
+	e.m.FallbackRescans += rep.Selection.FallbackRescans
 	e.m.TotalWelfare += rep.Welfare
 	e.m.TotalCost += rep.TotalCost
 	e.m.TotalPayments += payments

@@ -346,6 +346,49 @@ func TestEngineRealClock(t *testing.T) {
 	}
 }
 
+// TestEngineSelectionStrategyAndStats: the engine accumulates the greedy
+// core's instrumentation across slots and can switch strategies at
+// runtime without disturbing live queries.
+func TestEngineSelectionStrategyAndStats(t *testing.T) {
+	world := NewRWMWorld(1, 300, SensorConfig{})
+	e := NewEngine(NewAggregator(world, WithGreedyStrategy(StrategyLazy)))
+	e.Start()
+	t.Cleanup(e.Stop)
+
+	submitSlot := func(i int) {
+		if _, err := e.SubmitAggregate(fmt.Sprintf("agg%d", i), NewRect(20, 20, 45, 45), 300); err != nil {
+			t.Fatalf("submit aggregate: %v", err)
+		}
+		if _, err := e.SubmitPoint(fmt.Sprintf("pt%d", i), Pt(30, 30), 20); err != nil {
+			t.Fatalf("submit point: %v", err)
+		}
+		if err := e.RunSlots(1); err != nil {
+			t.Fatalf("RunSlots: %v", err)
+		}
+	}
+	submitSlot(0)
+
+	m := e.Metrics()
+	if m.ValuationCalls <= 0 {
+		t.Errorf("ValuationCalls = %d, want > 0", m.ValuationCalls)
+	}
+	if m.Strategy != "lazy" {
+		t.Errorf("Strategy = %q, want lazy", m.Strategy)
+	}
+
+	if err := e.SetGreedyStrategy(StrategySerial); err != nil {
+		t.Fatalf("SetGreedyStrategy: %v", err)
+	}
+	submitSlot(1)
+	m2 := e.Metrics()
+	if m2.Strategy != "serial" {
+		t.Errorf("Strategy after switch = %q, want serial", m2.Strategy)
+	}
+	if m2.ValuationCalls <= m.ValuationCalls {
+		t.Errorf("ValuationCalls did not accumulate: %d -> %d", m.ValuationCalls, m2.ValuationCalls)
+	}
+}
+
 func TestEngineRegionMonitoringNeedsGP(t *testing.T) {
 	e := newTestEngine(t) // RWM world: no GP model
 	h, err := e.SubmitRegionMonitoring("rm", NewRect(20, 20, 40, 40), 10, 100)

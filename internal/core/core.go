@@ -49,6 +49,8 @@ type PointResult struct {
 	Outcomes map[string]PointOutcome
 	// Exact is false if an exact solver hit its node budget.
 	Exact bool
+	// Stats instruments greedy-based solvers (zero for the others).
+	Stats SelectionStats
 }
 
 // Welfare returns total value minus total cost (the objective of Eq. 2).

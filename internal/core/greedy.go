@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -35,11 +36,101 @@ type MultiResult struct {
 	// States exposes the final valuation state per query ID, so callers
 	// (Algorithm 5) can continue applying results.
 	States map[string]query.State
+	// Stats instruments the selection run: how many valuation calls the
+	// chosen strategy made versus what an exhaustive version-cached scan
+	// would have made, plus the lazy heap's bookkeeping.
+	Stats SelectionStats
 }
 
 // Welfare returns total value minus total cost (Theorem 1 guarantees it is
 // positive whenever any sensor was selected).
 func (r *MultiResult) Welfare() float64 { return r.TotalValue - r.TotalCost }
+
+// DiffMultiResults compares two MultiResults bit-for-bit — selection
+// order, totals, per-query values and per-sensor payments (exact float
+// equality; Stats are intentionally excluded) — and describes the first
+// divergence, or returns "" when identical. It backs the
+// strategy-equivalence tests: every GreedyConfig.Strategy must produce
+// results for which this returns "".
+func DiffMultiResults(want, got *MultiResult) string {
+	if len(got.Selected) != len(want.Selected) {
+		return fmt.Sprintf("%d sensors selected, want %d", len(got.Selected), len(want.Selected))
+	}
+	for i := range want.Selected {
+		if got.Selected[i].ID != want.Selected[i].ID {
+			return fmt.Sprintf("selection order diverged at %d: sensor %d, want %d",
+				i, got.Selected[i].ID, want.Selected[i].ID)
+		}
+	}
+	if got.TotalCost != want.TotalCost || got.TotalValue != want.TotalValue {
+		return fmt.Sprintf("cost/value %v/%v, want %v/%v",
+			got.TotalCost, got.TotalValue, want.TotalCost, want.TotalValue)
+	}
+	for qid, wo := range want.Outcomes {
+		out := got.Outcomes[qid]
+		if out == nil || out.Value != wo.Value || len(out.Payments) != len(wo.Payments) {
+			return fmt.Sprintf("outcome %s diverged", qid)
+		}
+		// Compare per-sensor payments individually: TotalPayment sums a
+		// map and its iteration order perturbs float rounding.
+		for sid, p := range wo.Payments {
+			if out.Payments[sid] != p {
+				return fmt.Sprintf("%s payment to sensor %d = %v, want %v",
+					qid, sid, out.Payments[sid], p)
+			}
+		}
+	}
+	return ""
+}
+
+// SelectionStats counts the work one selection run (or, when accumulated,
+// many runs) performed. ValuationCalls is the number of State.Gain
+// invocations; SerialEquivCalls is what the exhaustive version-cached scan
+// of GreedySelect would have invoked on the same instance, so
+// SavedCalls() is the lazy strategy's pruning effect.
+type SelectionStats struct {
+	// Strategy is the effective strategy label of the last run
+	// ("serial", "sharded", "lazy", "lazy-sharded").
+	Strategy string
+	// ValuationCalls counts State.Gain invocations actually made.
+	ValuationCalls int64
+	// SerialEquivCalls counts the Gain invocations an exhaustive scan
+	// with the same per-(sensor, query) version cache would have made.
+	// For the serial and sharded strategies the two are equal.
+	SerialEquivCalls int64
+	// LazyReevaluations counts heap candidates popped stale and
+	// re-evaluated against the current states.
+	LazyReevaluations int64
+	// SubmodularityViolations counts re-evaluations where a cached
+	// marginal gain *increased* — evidence the valuation is not
+	// submodular, so cached heap priorities are not upper bounds.
+	SubmodularityViolations int64
+	// FallbackRescans counts rounds the lazy strategy re-scanned every
+	// remaining candidate exhaustively after observing a violation.
+	FallbackRescans int64
+}
+
+// SavedCalls is the number of valuation calls the strategy avoided
+// relative to the exhaustive version-cached scan (never negative).
+func (s SelectionStats) SavedCalls() int64 {
+	if s.SerialEquivCalls > s.ValuationCalls {
+		return s.SerialEquivCalls - s.ValuationCalls
+	}
+	return 0
+}
+
+// Accumulate folds another run's counters into s (keeping the most recent
+// strategy label), for callers aggregating across slots.
+func (s *SelectionStats) Accumulate(o SelectionStats) {
+	if o.Strategy != "" {
+		s.Strategy = o.Strategy
+	}
+	s.ValuationCalls += o.ValuationCalls
+	s.SerialEquivCalls += o.SerialEquivCalls
+	s.LazyReevaluations += o.LazyReevaluations
+	s.SubmodularityViolations += o.SubmodularityViolations
+	s.FallbackRescans += o.FallbackRescans
+}
 
 // GreedySelect is Algorithm 1: greedy multi-sensor selection across a set
 // of queries with arbitrary (black-box) valuation functions. Each
@@ -51,8 +142,9 @@ func (r *MultiResult) Welfare() float64 { return r.TotalValue - r.TotalCost }
 // The loop structure makes O(|Q| |S|^2) valuation calls (Theorem 1,
 // property 4); the per-query incremental states keep each call cheap. On
 // large fleets the candidate scan of each iteration is sharded across
-// GOMAXPROCS workers (see GreedySelectWith); the result is bit-identical
-// to the serial path.
+// GOMAXPROCS workers, and StrategyLazy prunes most candidate evaluations
+// entirely (see GreedySelectWith); every strategy is bit-identical to the
+// serial path.
 func GreedySelect(queries []query.Query, offers []Offer) *MultiResult {
 	return GreedySelectWith(queries, offers, GreedyConfig{})
 }
@@ -65,88 +157,15 @@ type GreedyConfig struct {
 	// ParallelThreshold is the minimum offer count before the scan is
 	// sharded (default 256): below it the spawn overhead dominates.
 	ParallelThreshold int
+	// Strategy selects the candidate-evaluation algorithm; the zero
+	// value (StrategyAuto) keeps the historical behaviour of a serial
+	// scan below ParallelThreshold and a sharded scan above it.
+	Strategy Strategy
 }
 
-// GreedySelectWith is GreedySelect with explicit parallelism control. The
-// scan only reads query states (State.Gain must not mutate), so shards
-// race-free; the merge keeps the serial rule "first sensor index with the
-// strictly largest net benefit", making parallel and serial runs produce
-// identical selections, payments and welfare.
-func GreedySelectWith(queries []query.Query, offers []Offer, cfg GreedyConfig) *MultiResult {
-	res := &MultiResult{
-		Outcomes: make(map[string]*MultiOutcome, len(queries)),
-		States:   make(map[string]query.State, len(queries)),
-	}
-	states := make([]query.State, len(queries))
-	for i, q := range queries {
-		states[i] = q.NewState()
-		res.Outcomes[q.QID()] = &MultiOutcome{Payments: make(map[int]float64)}
-		res.States[q.QID()] = states[i]
-	}
-	if len(queries) == 0 || len(offers) == 0 {
-		return res
-	}
-
-	// Spatial prefilter: relevant queries per sensor (the Q_{l_s} of the
-	// pseudocode). Relevance is static within a slot.
-	relevant := make([][]int, len(offers))
-	for si, o := range offers {
-		for qi, q := range queries {
-			if q.Relevant(o.Sensor) {
-				relevant[si] = append(relevant[si], qi)
-			}
-		}
-	}
-
-	// Marginal gains depend only on the query's own state, so cached gains
-	// stay exact until that query commits a sensor. Version stamps per
-	// query invalidate precisely the affected (sensor, query) pairs,
-	// turning the O(|Q||S|^2) valuation-call bound of Theorem 1 into a
-	// near-linear number of calls on sparse instances.
-	gainCache := make([][]float64, len(offers))
-	verCache := make([][]int, len(offers))
-	for si := range offers {
-		gainCache[si] = make([]float64, len(relevant[si]))
-		verCache[si] = make([]int, len(relevant[si]))
-		for k := range verCache[si] {
-			verCache[si][k] = -1
-		}
-	}
-	qver := make([]int, len(queries))
-
-	remaining := make([]bool, len(offers))
-	for i := range remaining {
-		remaining[i] = true
-	}
-
-	// scan finds the best candidate in [lo, hi): the lowest sensor index
-	// with the strictly largest positive net benefit. It fills the gain
-	// caches for its shard; shards never overlap, and Gain only reads
-	// query state, so concurrent shards do not race.
-	scan := func(lo, hi int) (int, float64) {
-		bestS, bestNet := -1, 0.0
-		for si := lo; si < hi; si++ {
-			if !remaining[si] {
-				continue
-			}
-			net := -offers[si].Cost
-			for k, qi := range relevant[si] {
-				if verCache[si][k] != qver[qi] {
-					gainCache[si][k] = states[qi].Gain(offers[si].Sensor)
-					verCache[si][k] = qver[qi]
-				}
-				if dv := gainCache[si][k]; dv > 0 {
-					net += dv
-				}
-			}
-			if net > bestNet {
-				bestNet = net
-				bestS = si
-			}
-		}
-		return bestS, bestNet
-	}
-
+// resolve normalizes the config against the instance size: effective
+// strategy and worker count.
+func (cfg GreedyConfig) resolve(n int) (Strategy, int) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -155,53 +174,67 @@ func GreedySelectWith(queries []query.Query, offers []Offer, cfg GreedyConfig) *
 	if threshold <= 0 {
 		threshold = defaultParallelThreshold
 	}
-	if len(offers) < threshold {
-		workers = 1
-	} else if workers > len(offers) {
-		workers = len(offers)
-	}
-
-	for {
-		var bestS int
-		if workers > 1 {
-			bestS, _ = scanSharded(scan, len(offers), workers)
+	strat := cfg.Strategy
+	if strat == StrategyAuto {
+		if n < threshold || workers == 1 {
+			strat = StrategySerial
 		} else {
-			bestS, _ = scan(0, len(offers))
+			strat = StrategySharded
 		}
-		if bestS == -1 {
-			break // no sensor with positive net benefit: leave the loop
-		}
-
-		o := offers[bestS]
-		var sumDv float64
-		for k, qi := range relevant[bestS] {
-			if verCache[bestS][k] == qver[qi] && gainCache[bestS][k] > 0 {
-				sumDv += gainCache[bestS][k]
-			}
-		}
-		for k, qi := range relevant[bestS] {
-			dv := gainCache[bestS][k]
-			if verCache[bestS][k] != qver[qi] || dv <= 0 {
-				continue
-			}
-			st := states[qi]
-			st.Add(o.Sensor)
-			qver[qi]++
-			out := res.Outcomes[queries[qi].QID()]
-			out.Sensors = append(out.Sensors, o.Sensor)
-			out.Payments[o.Sensor.ID] += dv * o.Cost / sumDv
-		}
-		remaining[bestS] = false
-		res.Selected = append(res.Selected, o.Sensor)
-		res.TotalCost += o.Cost
 	}
-
-	for i, q := range queries {
-		out := res.Outcomes[q.QID()]
-		out.Value = states[i].Value()
-		res.TotalValue += out.Value
+	switch strat {
+	case StrategySerial:
+		workers = 1
+	case StrategySharded, StrategyLazySharded:
+		if n < threshold {
+			workers = 1
+		} else if workers > n {
+			workers = n
+		}
+	case StrategyLazy:
+		workers = 1
 	}
-	return res
+	return strat, workers
+}
+
+// GreedySelectWith is GreedySelect with explicit strategy control. All
+// strategies produce identical selections, payments and welfare:
+//
+//   - StrategySerial scans every remaining sensor each round.
+//   - StrategySharded splits that scan over Workers goroutines; the merge
+//     keeps the serial rule "first sensor index with the strictly largest
+//     net benefit". The scan only reads query states (State.Gain must not
+//     mutate), so shards race-free.
+//   - StrategyLazy / StrategyLazySharded run the CELF-style lazy-greedy
+//     fast path of lazygreedy.go: cached net benefits in a max-heap,
+//     re-evaluated only when a relevant query's state changed, with an
+//     exhaustive-rescan fallback when a valuation proves non-submodular.
+func GreedySelectWith(queries []query.Query, offers []Offer, cfg GreedyConfig) *MultiResult {
+	s := newSelection(queries, offers)
+	if len(queries) == 0 || len(offers) == 0 {
+		s.finalize()
+		return s.res
+	}
+	strat, workers := cfg.resolve(len(offers))
+	switch strat {
+	case StrategyLazy, StrategyLazySharded:
+		sharded := strat == StrategyLazySharded && workers > 1
+		if sharded {
+			s.stats.Strategy = StrategyLazySharded.String()
+		} else {
+			s.stats.Strategy = StrategyLazy.String()
+		}
+		s.lazyLoop(sharded, workers)
+	default:
+		if workers > 1 {
+			s.stats.Strategy = StrategySharded.String()
+		} else {
+			s.stats.Strategy = StrategySerial.String()
+		}
+		s.exhaustiveLoop(workers)
+	}
+	s.finalize()
+	return s.res
 }
 
 // defaultParallelThreshold keeps the paper-scale evaluations (200-635
@@ -209,14 +242,233 @@ func GreedySelectWith(queries []query.Query, offers []Offer, cfg GreedyConfig) *
 // scan itself.
 const defaultParallelThreshold = 256
 
-// scanSharded runs scan over `workers` contiguous shards of [0, n) and
-// merges in shard order with a strict > comparison, reproducing exactly
-// the serial first-max choice.
-func scanSharded(scan func(lo, hi int) (int, float64), n, workers int) (int, float64) {
+// submodularTolerance is the slack above which a re-evaluated marginal
+// gain exceeding its cached value counts as a submodularity violation.
+const submodularTolerance = 1e-12
+
+// selection is the shared mutable state of one Algorithm 1 run, used by
+// both the exhaustive and the lazy candidate-evaluation strategies.
+//
+// Marginal gains depend only on the query's own state, so cached gains
+// stay exact until that query commits a sensor. Version stamps per query
+// invalidate precisely the affected (sensor, query) pairs, turning the
+// O(|Q||S|^2) valuation-call bound of Theorem 1 into a near-linear number
+// of calls on sparse instances.
+type selection struct {
+	queries []query.Query
+	offers  []Offer
+	states  []query.State
+	res     *MultiResult
+
+	// relevant lists, per sensor, the indices of queries it can improve
+	// (the Q_{l_s} of the pseudocode). Relevance is static within a slot.
+	relevant  [][]int
+	gainCache [][]float64
+	verCache  [][]int
+	qver      []int
+	// relCount tracks, per query, how many remaining sensors are
+	// relevant to it — the pairs an exhaustive scan would re-evaluate
+	// after the query's version bumps (SerialEquivCalls accounting).
+	relCount  []int
+	remaining []bool
+	// submod marks queries advertising query.Submodular. Only their
+	// stale-gain increases count as violations: unmarked valuations
+	// (aggregates, trajectories) are allowed to grow and are handled by
+	// the lazy strategy's eager volatile maintenance instead.
+	submod []bool
+	// lastBumped lists the query indices whose version the most recent
+	// commit advanced (scratch reused across rounds; lazy maintenance
+	// reads it to refresh non-submodular valuations eagerly).
+	lastBumped []int
+
+	stats SelectionStats
+}
+
+// evalCounters accumulates per-goroutine valuation accounting; shards get
+// their own instance so the hot loop never touches shared memory.
+type evalCounters struct {
+	calls      int64
+	violations int64
+}
+
+func newSelection(queries []query.Query, offers []Offer) *selection {
+	s := &selection{
+		queries: queries,
+		offers:  offers,
+		states:  make([]query.State, len(queries)),
+		res: &MultiResult{
+			Outcomes: make(map[string]*MultiOutcome, len(queries)),
+			States:   make(map[string]query.State, len(queries)),
+		},
+	}
+	for i, q := range queries {
+		s.states[i] = q.NewState()
+		s.res.Outcomes[q.QID()] = &MultiOutcome{Payments: make(map[int]float64)}
+		s.res.States[q.QID()] = s.states[i]
+	}
+	if len(queries) == 0 || len(offers) == 0 {
+		return s
+	}
+
+	s.relevant = make([][]int, len(offers))
+	s.relCount = make([]int, len(queries))
+	s.submod = make([]bool, len(queries))
+	for qi, q := range queries {
+		s.submod[qi] = query.IsSubmodular(q)
+	}
+	for si, o := range offers {
+		for qi, q := range queries {
+			if q.Relevant(o.Sensor) {
+				s.relevant[si] = append(s.relevant[si], qi)
+				s.relCount[qi]++
+			}
+		}
+	}
+	s.gainCache = make([][]float64, len(offers))
+	s.verCache = make([][]int, len(offers))
+	for si := range offers {
+		s.gainCache[si] = make([]float64, len(s.relevant[si]))
+		s.verCache[si] = make([]int, len(s.relevant[si]))
+		for k := range s.verCache[si] {
+			s.verCache[si][k] = -1
+		}
+		// The exhaustive scan evaluates every relevant pair once up
+		// front (version -1 -> 0).
+		s.stats.SerialEquivCalls += int64(len(s.relevant[si]))
+	}
+	s.qver = make([]int, len(queries))
+	s.remaining = make([]bool, len(offers))
+	for i := range s.remaining {
+		s.remaining[i] = true
+	}
+	return s
+}
+
+// evalSensor returns the sensor's current net benefit -c_a + sum of
+// positive marginal gains, refreshing exactly the stale (sensor, query)
+// cache entries. A refreshed gain larger than its cached predecessor is
+// counted as a submodularity violation.
+func (s *selection) evalSensor(si int, c *evalCounters) float64 {
+	net := -s.offers[si].Cost
+	for k, qi := range s.relevant[si] {
+		if s.verCache[si][k] != s.qver[qi] {
+			g := s.states[qi].Gain(s.offers[si].Sensor)
+			c.calls++
+			if s.submod[qi] && s.verCache[si][k] >= 0 && g > s.gainCache[si][k]+submodularTolerance {
+				c.violations++
+			}
+			s.gainCache[si][k] = g
+			s.verCache[si][k] = s.qver[qi]
+		}
+		if dv := s.gainCache[si][k]; dv > 0 {
+			net += dv
+		}
+	}
+	return net
+}
+
+// fresh reports whether every cached gain of the sensor matches the
+// current query versions, i.e. cachedNet(si) is exact right now.
+func (s *selection) fresh(si int) bool {
+	for k, qi := range s.relevant[si] {
+		if s.verCache[si][k] != s.qver[qi] {
+			return false
+		}
+	}
+	return true
+}
+
+// cachedNet recomputes the net benefit from the caches without any
+// valuation call, with the same accumulation order as evalSensor (so the
+// floats are identical when the caches are fresh).
+func (s *selection) cachedNet(si int) float64 {
+	net := -s.offers[si].Cost
+	for k := range s.relevant[si] {
+		if dv := s.gainCache[si][k]; dv > 0 {
+			net += dv
+		}
+	}
+	return net
+}
+
+// commit selects sensor si: applies it to every query it freshly
+// improves, splits its cost proportionately, bumps the affected query
+// versions and removes it from the candidate pool. The caches of si must
+// be fresh (the scan or heap just evaluated them).
+func (s *selection) commit(si int) {
+	o := s.offers[si]
+	var sumDv float64
+	for k, qi := range s.relevant[si] {
+		if s.verCache[si][k] == s.qver[qi] && s.gainCache[si][k] > 0 {
+			sumDv += s.gainCache[si][k]
+		}
+	}
+	s.lastBumped = s.lastBumped[:0]
+	for k, qi := range s.relevant[si] {
+		s.relCount[qi]--
+		dv := s.gainCache[si][k]
+		if s.verCache[si][k] != s.qver[qi] || dv <= 0 {
+			continue
+		}
+		st := s.states[qi]
+		st.Add(o.Sensor)
+		s.qver[qi]++
+		s.lastBumped = append(s.lastBumped, qi)
+		// An exhaustive scan would re-evaluate this query against every
+		// remaining sensor on the next round.
+		s.stats.SerialEquivCalls += int64(s.relCount[qi])
+		out := s.res.Outcomes[s.queries[qi].QID()]
+		out.Sensors = append(out.Sensors, o.Sensor)
+		out.Payments[o.Sensor.ID] += dv * o.Cost / sumDv
+	}
+	s.remaining[si] = false
+	s.res.Selected = append(s.res.Selected, o.Sensor)
+	s.res.TotalCost += o.Cost
+}
+
+// finalize fills per-query values, the total value and the stats.
+func (s *selection) finalize() {
+	for i, q := range s.queries {
+		out := s.res.Outcomes[q.QID()]
+		out.Value = s.states[i].Value()
+		s.res.TotalValue += out.Value
+	}
+	s.res.Stats = s.stats
+}
+
+func (s *selection) addCounters(c evalCounters) {
+	s.stats.ValuationCalls += c.calls
+	s.stats.SubmodularityViolations += c.violations
+}
+
+// scanRange finds the best candidate in [lo, hi): the lowest sensor index
+// with the strictly largest positive net benefit. It fills the gain
+// caches for its shard; shards never overlap, and Gain only reads query
+// state, so concurrent shards do not race.
+func (s *selection) scanRange(lo, hi int, c *evalCounters) (int, float64) {
+	bestS, bestNet := -1, 0.0
+	for si := lo; si < hi; si++ {
+		if !s.remaining[si] {
+			continue
+		}
+		if net := s.evalSensor(si, c); net > bestNet {
+			bestNet = net
+			bestS = si
+		}
+	}
+	return bestS, bestNet
+}
+
+// scanSharded runs scanRange over `workers` contiguous shards and merges
+// in shard order with a strict > comparison, reproducing exactly the
+// serial first-max choice.
+func (s *selection) scanSharded(workers int) (int, float64) {
 	type cand struct {
 		s   int
 		net float64
+		c   evalCounters
 	}
+	n := len(s.offers)
 	results := make([]cand, workers)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -230,14 +482,14 @@ func scanSharded(scan func(lo, hi int) (int, float64), n, workers int) (int, flo
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			s, net := scan(lo, hi)
-			results[w] = cand{s: s, net: net}
+			results[w].s, results[w].net = s.scanRange(lo, hi, &results[w].c)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 
 	bestS, bestNet := -1, 0.0
 	for _, r := range results {
+		s.addCounters(r.c)
 		if r.s != -1 && r.net > bestNet {
 			bestS, bestNet = r.s, r.net
 		}
@@ -245,15 +497,37 @@ func scanSharded(scan func(lo, hi int) (int, float64), n, workers int) (int, flo
 	return bestS, bestNet
 }
 
+// exhaustiveLoop is the original Algorithm 1 loop: scan every remaining
+// sensor each round, commit the best, stop when nothing is profitable.
+func (s *selection) exhaustiveLoop(workers int) {
+	for {
+		var bestS int
+		if workers > 1 {
+			bestS, _ = s.scanSharded(workers)
+		} else {
+			var c evalCounters
+			bestS, _ = s.scanRange(0, len(s.offers), &c)
+			s.addCounters(c)
+		}
+		if bestS == -1 {
+			break // no sensor with positive net benefit: leave the loop
+		}
+		s.commit(bestS)
+	}
+}
+
 // GreedyPoint adapts Algorithm 1 to the PointSolver interface so the mix
 // pipeline can schedule point queries through the shared greedy pass.
-func GreedyPoint() PointSolver {
+func GreedyPoint() PointSolver { return GreedyPointWith(GreedyConfig{}) }
+
+// GreedyPointWith is GreedyPoint with explicit strategy control.
+func GreedyPointWith(cfg GreedyConfig) PointSolver {
 	return func(queries []*query.Point, offers []Offer) *PointResult {
 		qs := make([]query.Query, len(queries))
 		for i, q := range queries {
 			qs[i] = q
 		}
-		multi := GreedySelect(qs, offers)
+		multi := GreedySelectWith(qs, offers, cfg)
 		return pointResultFromMulti(queries, multi)
 	}
 }
@@ -267,6 +541,7 @@ func pointResultFromMulti(queries []*query.Point, multi *MultiResult) *PointResu
 		Selected:   multi.Selected,
 		TotalCost:  multi.TotalCost,
 		TotalValue: multi.TotalValue,
+		Stats:      multi.Stats,
 	}
 	for _, q := range queries {
 		out := multi.Outcomes[q.QID()]

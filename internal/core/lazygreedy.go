@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Strategy selects how Algorithm 1 evaluates candidate sensors. All
+// strategies return bit-identical results; they differ only in how much
+// work they do to find each round's argmax.
+type Strategy int
+
+const (
+	// StrategyAuto keeps the historical default: a serial scan below
+	// GreedyConfig.ParallelThreshold offers, a sharded scan above it.
+	StrategyAuto Strategy = iota
+	// StrategySerial scans every remaining sensor each round on one
+	// goroutine.
+	StrategySerial
+	// StrategySharded splits the per-round scan over Workers goroutines.
+	StrategySharded
+	// StrategyLazy is the CELF-style lazy-greedy fast path: cached net
+	// benefits in a max-heap, re-evaluated only when stale.
+	StrategyLazy
+	// StrategyLazySharded is StrategyLazy with the initial bound build
+	// and the violation-fallback rescans sharded over Workers
+	// goroutines.
+	StrategyLazySharded
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategySerial:
+		return "serial"
+	case StrategySharded:
+		return "sharded"
+	case StrategyLazy:
+		return "lazy"
+	case StrategyLazySharded:
+		return "lazy-sharded"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseStrategy parses a strategy name as accepted by the CLIs
+// ("auto", "serial", "sharded", "lazy", "lazy-sharded").
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return StrategyAuto, nil
+	case "serial":
+		return StrategySerial, nil
+	case "sharded", "parallel":
+		return StrategySharded, nil
+	case "lazy", "celf":
+		return StrategyLazy, nil
+	case "lazy-sharded", "lazy+sharded", "lazysharded":
+		return StrategyLazySharded, nil
+	default:
+		return StrategyAuto, fmt.Errorf("unknown strategy %q (want auto, serial, sharded, lazy or lazy-sharded)", s)
+	}
+}
+
+// lazyEntry is one heap candidate: a sensor and its last evaluated net
+// benefit. While every relevant query's version is unchanged the net is
+// exact; once a version bumps it is (for submodular valuations) an upper
+// bound on the sensor's current net.
+type lazyEntry struct {
+	si  int
+	net float64
+}
+
+// lazyHeap is a binary max-heap of candidates ordered by net benefit,
+// ties broken by the lower sensor index — exactly the serial scan's
+// "first index with the strictly largest net" rule.
+type lazyHeap []lazyEntry
+
+func (h lazyHeap) before(i, j int) bool {
+	if h[i].net != h[j].net {
+		return h[i].net > h[j].net
+	}
+	return h[i].si < h[j].si
+}
+
+func (h lazyHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *lazyHeap) push(e lazyEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).before(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// popTop removes and returns the maximum entry.
+func (h *lazyHeap) popTop() lazyEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		(*h).siftDown(0)
+	}
+	return top
+}
+
+func (h lazyHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(l, best) {
+			best = l
+		}
+		if r < n && h.before(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// volRef locates one (sensor, query) gain-cache slot of a volatile
+// (non-submodular) query.
+type volRef struct {
+	si, k int
+}
+
+// lazyLoop is the CELF-style selection loop.
+//
+// Invariant: for monotone submodular valuations (queries advertising
+// query.Submodular) a query's marginal gain can only shrink as its state
+// grows, so a heap entry evaluated at an older state is an upper bound
+// on the sensor's current net benefit. Valuations without the marker
+// ("volatile": aggregates, trajectories, arbitrary black boxes) get no
+// such bound — their cached gains are instead refreshed *eagerly* after
+// every commit that touches them, so each entry's priority is always
+// exact-volatile-part plus bounded-submodular-part, i.e. still a valid
+// upper bound.
+//
+// The heap orders entries by (net desc, sensor index asc); superseded
+// entries are skipped on pop (lazy deletion keyed on curNet). When a
+// popped valid entry is fresh — no relevant query committed a sensor
+// since it was evaluated — every other candidate's bound is at most the
+// top's exact net, so the top is the round's true argmax with the serial
+// tie-break, and it commits without touching the rest of the pool. Stale
+// tops are re-evaluated (refreshing only the stale (sensor, query) gain
+// cache entries) and pushed back.
+//
+// Fallback: if a re-evaluated *marked* gain increased, the marker lied
+// and stale bounds elsewhere may underestimate their sensors. The round
+// then re-scans every remaining candidate exhaustively (restoring exact
+// priorities for all of them) and rebuilds the heap. This detector is
+// best-effort — the bound invariant, and with it bit-identical results,
+// is guaranteed by truthful markers, not by detection.
+func (s *selection) lazyLoop(sharded bool, workers int) {
+	// Build the reverse index volatile maintenance needs (query -> its
+	// gain-cache slots); the submodular classification lives on the
+	// selection (newSelection).
+	anyVol := false
+	for qi := range s.queries {
+		anyVol = anyVol || !s.submod[qi]
+	}
+	var volPairs [][]volRef
+	if anyVol {
+		volPairs = make([][]volRef, len(s.queries))
+		for si := range s.offers {
+			for k, qi := range s.relevant[si] {
+				if !s.submod[qi] {
+					volPairs[qi] = append(volPairs[qi], volRef{si: si, k: k})
+				}
+			}
+		}
+	}
+
+	curNet := make([]float64, len(s.offers))
+	h := make(lazyHeap, 0, len(s.offers))
+	rebuild := func() {
+		s.refreshRemaining(sharded, workers)
+		h = h[:0]
+		for si := range s.offers {
+			if s.remaining[si] {
+				curNet[si] = s.cachedNet(si)
+				h = append(h, lazyEntry{si: si, net: curNet[si]})
+			}
+		}
+		h.init()
+	}
+	rebuild()
+
+	touched := make([]bool, len(s.offers))
+	var touchList []int
+	var c evalCounters
+	for len(h) > 0 {
+		e := h.popTop()
+		if !s.remaining[e.si] || e.net != curNet[e.si] {
+			continue // superseded by a later evaluation of the same sensor
+		}
+		if e.net <= 0 {
+			// The highest valid bound is non-positive: no remaining
+			// sensor is profitable, exactly the serial termination rule.
+			break
+		}
+		if s.fresh(e.si) {
+			s.commit(e.si)
+			if anyVol {
+				// Volatile queries just bumped: restore exact gains for
+				// every remaining sensor they touch and re-prioritize.
+				touchList = touchList[:0]
+				for _, qi := range s.lastBumped {
+					if s.submod[qi] {
+						continue
+					}
+					for _, ref := range volPairs[qi] {
+						if !s.remaining[ref.si] {
+							continue
+						}
+						s.gainCache[ref.si][ref.k] = s.states[qi].Gain(s.offers[ref.si].Sensor)
+						s.verCache[ref.si][ref.k] = s.qver[qi]
+						c.calls++
+						if !touched[ref.si] {
+							touched[ref.si] = true
+							touchList = append(touchList, ref.si)
+						}
+					}
+				}
+				for _, si := range touchList {
+					touched[si] = false
+					curNet[si] = s.cachedNet(si)
+					h.push(lazyEntry{si: si, net: curNet[si]})
+				}
+			}
+			continue
+		}
+		s.stats.LazyReevaluations++
+		vBefore := c.violations
+		net := s.evalSensor(e.si, &c)
+		if c.violations > vBefore {
+			// A marked-submodular gain grew: the cached bounds cannot be
+			// trusted, so re-scan the whole remaining pool to make every
+			// priority exact again.
+			s.stats.FallbackRescans++
+			s.addCounters(c)
+			c = evalCounters{}
+			rebuild()
+			continue
+		}
+		curNet[e.si] = net
+		h.push(lazyEntry{si: e.si, net: net})
+	}
+	s.addCounters(c)
+}
+
+// refreshRemaining brings every remaining sensor's gain cache up to the
+// current query versions (optionally sharded; shards touch disjoint
+// sensors, and Gain is read-only on query state, so they do not race).
+func (s *selection) refreshRemaining(sharded bool, workers int) {
+	n := len(s.offers)
+	if !sharded || workers <= 1 {
+		var c evalCounters
+		for si := 0; si < n; si++ {
+			if s.remaining[si] {
+				s.evalSensor(si, &c)
+			}
+		}
+		s.addCounters(c)
+		return
+	}
+	counters := make([]evalCounters, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for si := lo; si < hi; si++ {
+				if s.remaining[si] {
+					s.evalSensor(si, &counters[w])
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, c := range counters {
+		s.addCounters(c)
+	}
+}

@@ -73,6 +73,14 @@ func (r *MixSlotResult) Welfare() float64 {
 //  5. data acquisition and accounting (done by the caller committing the
 //     selected sensors).
 func RunMixSlot(t int, qs MixQueries, offers []Offer) *MixSlotResult {
+	return RunMixSlotWith(t, qs, offers, GreedyConfig{})
+}
+
+// RunMixSlotWith is RunMixSlot with explicit control over the joint
+// Algorithm 1 pass's candidate-evaluation strategy (see GreedyConfig);
+// the mix result is bit-identical across strategies, only
+// Multi.Stats differs.
+func RunMixSlotWith(t int, qs MixQueries, offers []Offer, cfg GreedyConfig) *MixSlotResult {
 	res := &MixSlotResult{
 		PointOutcomes: make(map[string]PointOutcome),
 		Continuous:    make(map[string]ContinuousOutcome),
@@ -168,7 +176,7 @@ func RunMixSlot(t int, qs MixQueries, offers []Offer) *MixSlotResult {
 	}
 	all = append(all, qs.Extra...)
 	all = append(all, generated...)
-	multi := GreedySelect(all, offers)
+	multi := GreedySelectWith(all, offers, cfg)
 	res.Multi = multi
 	res.TotalCost = multi.TotalCost
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -14,35 +15,7 @@ func TestGreedyParallelMatchesSerial(t *testing.T) {
 		serial := GreedySelectWith(qs, offers, GreedyConfig{Workers: 1})
 		for _, workers := range []int{2, 3, 8} {
 			par := GreedySelectWith(qs, offers, GreedyConfig{Workers: workers, ParallelThreshold: 1})
-			if len(par.Selected) != len(serial.Selected) {
-				t.Fatalf("seed %d workers %d: %d sensors selected, serial %d",
-					seed, workers, len(par.Selected), len(serial.Selected))
-			}
-			for i := range serial.Selected {
-				if par.Selected[i].ID != serial.Selected[i].ID {
-					t.Fatalf("seed %d workers %d: selection order diverged at %d: %d vs %d",
-						seed, workers, i, par.Selected[i].ID, serial.Selected[i].ID)
-				}
-			}
-			if par.TotalCost != serial.TotalCost || par.TotalValue != serial.TotalValue {
-				t.Fatalf("seed %d workers %d: cost/value %v/%v, serial %v/%v",
-					seed, workers, par.TotalCost, par.TotalValue, serial.TotalCost, serial.TotalValue)
-			}
-			for qid, so := range serial.Outcomes {
-				po := par.Outcomes[qid]
-				if po == nil || po.Value != so.Value || len(po.Payments) != len(so.Payments) {
-					t.Fatalf("seed %d workers %d: outcome %s diverged", seed, workers, qid)
-				}
-				// Per-sensor payments are computed in deterministic order;
-				// compare them individually (TotalPayment sums a map and
-				// its iteration order perturbs float rounding).
-				for sid, p := range so.Payments {
-					if po.Payments[sid] != p {
-						t.Fatalf("seed %d workers %d: %s payment to sensor %d = %v, serial %v",
-							seed, workers, qid, sid, po.Payments[sid], p)
-					}
-				}
-			}
+			assertSameMultiResult(t, fmt.Sprintf("seed %d workers %d", seed, workers), serial, par)
 		}
 	}
 }

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/query"
+	"repro/internal/rng"
+	"repro/internal/sensornet"
+)
+
+// randomMixedScenario builds a deterministic instance mixing all four
+// one-shot query types that flow through Algorithm 1.
+func randomMixedScenario(seed int64, nSensors int) ([]query.Query, []Offer) {
+	s := rng.New(seed, "strategy-mix")
+	grid := geo.NewUnitGrid(100, 100)
+	var positions []geo.Point
+	for i := 0; i < nSensors; i++ {
+		positions = append(positions, geo.Pt(s.Uniform(0, 100), s.Uniform(0, 100)))
+	}
+	offers := makeOffers(positions...)
+	var qs []query.Query
+	for i := 0; i < 6; i++ {
+		x, y := s.Uniform(0, 70), s.Uniform(0, 70)
+		qs = append(qs, query.NewAggregate(fmt.Sprintf("agg%d", i),
+			geo.NewRect(x, y, x+s.Uniform(10, 30), y+s.Uniform(10, 30)), s.Uniform(60, 250), 10, grid))
+	}
+	for i := 0; i < 25; i++ {
+		qs = append(qs, query.NewPoint(fmt.Sprintf("pt%d", i),
+			geo.Pt(s.Uniform(0, 100), s.Uniform(0, 100)), s.Uniform(8, 30), 6))
+	}
+	for i := 0; i < 4; i++ {
+		qs = append(qs, query.NewMultiPoint(fmt.Sprintf("mp%d", i),
+			geo.Pt(s.Uniform(0, 100), s.Uniform(0, 100)), s.Uniform(30, 60), 6, 2+s.Intn(3)))
+	}
+	for i := 0; i < 3; i++ {
+		x, y := s.Uniform(0, 80), s.Uniform(0, 80)
+		qs = append(qs, query.NewTrajectory(fmt.Sprintf("tr%d", i),
+			geo.Trajectory{Waypoints: []geo.Point{geo.Pt(x, y), geo.Pt(x+s.Uniform(5, 20), y+s.Uniform(5, 20))}},
+			s.Uniform(40, 90), 8))
+	}
+	return qs, offers
+}
+
+// assertSameMultiResult requires got to be bit-identical to want
+// (DiffMultiResults is the canonical comparison).
+func assertSameMultiResult(t *testing.T, label string, want, got *MultiResult) {
+	t.Helper()
+	if diff := DiffMultiResults(want, got); diff != "" {
+		t.Fatalf("%s: %s", label, diff)
+	}
+}
+
+// TestGreedyStrategiesBitIdentical verifies that every candidate-
+// evaluation strategy — serial, sharded, lazy, lazy-sharded — produces
+// the exact same MultiResult on randomized mixed query workloads.
+func TestGreedyStrategiesBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		qs, offers := randomMixedScenario(seed, 400)
+		serial := GreedySelectWith(qs, offers, GreedyConfig{Strategy: StrategySerial})
+		variants := []GreedyConfig{
+			{Strategy: StrategySharded, Workers: 4, ParallelThreshold: 1},
+			{Strategy: StrategyLazy},
+			{Strategy: StrategyLazySharded, Workers: 4, ParallelThreshold: 1},
+		}
+		for _, cfg := range variants {
+			got := GreedySelectWith(qs, offers, cfg)
+			assertSameMultiResult(t, fmt.Sprintf("seed %d strategy %s", seed, cfg.Strategy), serial, got)
+			if got.Stats.ValuationCalls > serial.Stats.SerialEquivCalls {
+				t.Errorf("seed %d strategy %s: %d valuation calls exceed the exhaustive scan's %d",
+					seed, cfg.Strategy, got.Stats.ValuationCalls, serial.Stats.SerialEquivCalls)
+			}
+		}
+	}
+}
+
+// TestExhaustiveCallAccounting: for the exhaustive strategies the
+// SerialEquivCalls model must match the calls actually made — it is the
+// baseline the lazy strategy's SavedCalls is measured against.
+func TestExhaustiveCallAccounting(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		qs, offers := randomMixedScenario(seed, 300)
+		for _, cfg := range []GreedyConfig{
+			{Strategy: StrategySerial},
+			{Strategy: StrategySharded, Workers: 3, ParallelThreshold: 1},
+		} {
+			res := GreedySelectWith(qs, offers, cfg)
+			if res.Stats.ValuationCalls != res.Stats.SerialEquivCalls {
+				t.Errorf("seed %d strategy %s: made %d calls, accounting model says %d",
+					seed, cfg.Strategy, res.Stats.ValuationCalls, res.Stats.SerialEquivCalls)
+			}
+		}
+	}
+}
+
+// redundancyScenario builds a k-redundancy workload (§2.2.1 multiple-
+// sensor point queries): every query commits many sensors, so each
+// (sensor, query) pair goes stale many times — the regime where CELF's
+// pruning pays off most.
+func redundancyScenario(seed int64, nSensors, nQueries, k int) ([]query.Query, []Offer) {
+	s := rng.New(seed, "redundancy")
+	var positions []geo.Point
+	for i := 0; i < nSensors; i++ {
+		positions = append(positions, geo.Pt(s.Uniform(0, 80), s.Uniform(0, 80)))
+	}
+	offers := makeOffers(positions...)
+	var qs []query.Query
+	for i := 0; i < nQueries; i++ {
+		qs = append(qs, query.NewMultiPoint(fmt.Sprintf("mp%d", i),
+			geo.Pt(s.Uniform(0, 80), s.Uniform(0, 80)), s.Uniform(100, 300), 5, k))
+	}
+	return qs, offers
+}
+
+// TestLazySavesCallsOnRedundancyWorkloads: on a k-redundancy workload
+// (purely submodular valuations) the lazy strategy must prune a large
+// share of the exhaustive scan's valuation calls, never trip the
+// fallback, and stay bit-identical.
+func TestLazySavesCallsOnRedundancyWorkloads(t *testing.T) {
+	qs, offers := redundancyScenario(3, 2000, 150, 10)
+	serial := GreedySelectWith(qs, offers, GreedyConfig{Strategy: StrategySerial})
+	lazy := GreedySelectWith(qs, offers, GreedyConfig{Strategy: StrategyLazy})
+	assertSameMultiResult(t, "lazy", serial, lazy)
+	if lazy.Stats.SubmodularityViolations != 0 || lazy.Stats.FallbackRescans != 0 {
+		t.Errorf("multipoint valuations are submodular but lazy saw %d violations, %d rescans",
+			lazy.Stats.SubmodularityViolations, lazy.Stats.FallbackRescans)
+	}
+	if lazy.Stats.ValuationCalls*2 > serial.Stats.ValuationCalls {
+		t.Errorf("lazy made %d calls, want < half of the exhaustive %d",
+			lazy.Stats.ValuationCalls, serial.Stats.ValuationCalls)
+	}
+	if saved := lazy.Stats.SavedCalls(); saved == 0 {
+		t.Error("SavedCalls reported no pruning")
+	}
+}
+
+// --- non-submodular fallback ----------------------------------------------
+
+// comboQuery is a deliberately non-submodular valuation: sensors a and b
+// complement each other, so b's marginal gain *grows* after a commits.
+// When `lie` is set it falsely advertises query.Submodular — the exact
+// situation that invalidates CELF's cached upper bounds and must trigger
+// the lazy strategy's violation detector and exhaustive-rescan fallback.
+// Unmarked, it exercises the volatile eager-maintenance path instead.
+type comboQuery struct {
+	id         string
+	a, b       int // complementary sensor IDs
+	solo, both float64
+	lie        bool
+}
+
+func (c *comboQuery) SubmodularValuation() bool { return c.lie }
+
+func (c *comboQuery) QID() string     { return c.id }
+func (c *comboQuery) Budget() float64 { return c.both }
+func (c *comboQuery) Relevant(s *sensornet.Sensor) bool {
+	return s.ID == c.a || s.ID == c.b
+}
+func (c *comboQuery) NewState() query.State { return &comboState{q: c} }
+
+type comboState struct {
+	q          *comboQuery
+	hasA, hasB bool
+	sensors    []*sensornet.Sensor
+}
+
+func (st *comboState) Query() query.Query { return st.q }
+func (st *comboState) valueOf(hasA, hasB bool) float64 {
+	switch {
+	case hasA && hasB:
+		return st.q.both
+	case hasA || hasB:
+		return st.q.solo
+	default:
+		return 0
+	}
+}
+func (st *comboState) Value() float64 { return st.valueOf(st.hasA, st.hasB) }
+func (st *comboState) Gain(s *sensornet.Sensor) float64 {
+	return st.valueOf(st.hasA || s.ID == st.q.a, st.hasB || s.ID == st.q.b) - st.Value()
+}
+func (st *comboState) Add(s *sensornet.Sensor) {
+	st.hasA = st.hasA || s.ID == st.q.a
+	st.hasB = st.hasB || s.ID == st.q.b
+	st.sensors = append(st.sensors, s)
+}
+func (st *comboState) Sensors() []*sensornet.Sensor { return st.sensors }
+
+// comboFixture builds the complementary-valuation instance.
+func comboFixture(lie bool) ([]query.Query, []Offer) {
+	s0 := sensornet.NewSensor(0, geo.Pt(0, 0))
+	s1 := sensornet.NewSensor(1, geo.Pt(1, 0))
+	s2 := sensornet.NewSensor(2, geo.Pt(2, 0))
+	offers := []Offer{
+		{Sensor: s0, Cost: 1},
+		{Sensor: s1, Cost: 1},
+		{Sensor: s2, Cost: 1},
+	}
+	return []query.Query{&comboQuery{id: "combo", a: 0, b: 1, solo: 2, both: 40, lie: lie}}, offers
+}
+
+// TestLazyFallbackOnLyingSubmodularMarker: a valuation that falsely
+// claims submodularity must trip the violation detector, re-scan
+// exhaustively, and still return the serial result bit-identically.
+func TestLazyFallbackOnLyingSubmodularMarker(t *testing.T) {
+	qs, offers := comboFixture(true)
+	serial := GreedySelectWith(qs, offers, GreedyConfig{Strategy: StrategySerial})
+	lazy := GreedySelectWith(qs, offers, GreedyConfig{Strategy: StrategyLazy})
+
+	assertSameMultiResult(t, "lazy fallback", serial, lazy)
+	if len(lazy.Selected) != 2 {
+		t.Fatalf("expected both complementary sensors selected, got %d", len(lazy.Selected))
+	}
+	if lazy.Stats.SubmodularityViolations == 0 {
+		t.Error("no submodularity violation recorded on a complementary valuation")
+	}
+	if lazy.Stats.FallbackRescans == 0 {
+		t.Error("violation did not trigger the exhaustive-rescan fallback")
+	}
+	// The serial baseline sees the same gain increases but needs no
+	// fallback: it re-scans everything every round anyway.
+	if serial.Stats.FallbackRescans != 0 {
+		t.Errorf("serial strategy recorded %d fallback rescans", serial.Stats.FallbackRescans)
+	}
+}
+
+// TestLazyVolatileMaintenanceOnUnmarkedValuation: the same complementary
+// valuation *without* the marker takes the eager-maintenance path — no
+// violations, no fallback, still bit-identical.
+func TestLazyVolatileMaintenanceOnUnmarkedValuation(t *testing.T) {
+	qs, offers := comboFixture(false)
+	serial := GreedySelectWith(qs, offers, GreedyConfig{Strategy: StrategySerial})
+	lazy := GreedySelectWith(qs, offers, GreedyConfig{Strategy: StrategyLazy})
+
+	assertSameMultiResult(t, "lazy volatile", serial, lazy)
+	if len(lazy.Selected) != 2 {
+		t.Fatalf("expected both complementary sensors selected, got %d", len(lazy.Selected))
+	}
+	if lazy.Stats.SubmodularityViolations != 0 || lazy.Stats.FallbackRescans != 0 {
+		t.Errorf("eager maintenance should avoid violations/fallbacks, got %d/%d",
+			lazy.Stats.SubmodularityViolations, lazy.Stats.FallbackRescans)
+	}
+}
+
+// TestLazyMatchesSerialOnAggregates mirrors TestGreedyParallelMatchesSerial
+// for the lazy strategies on the aggregate-heavy scenario: aggregate
+// valuations (Eq. 5's coverage x mean-quality product) are not strictly
+// submodular, so this exercises the fallback path on realistic inputs.
+func TestLazyMatchesSerialOnAggregates(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		qs, offers := randomAggScenario(seed, 800, 30, 400)
+		serial := GreedySelectWith(qs, offers, GreedyConfig{Workers: 1})
+		for _, strat := range []Strategy{StrategyLazy, StrategyLazySharded} {
+			got := GreedySelectWith(qs, offers, GreedyConfig{Strategy: strat, ParallelThreshold: 1})
+			assertSameMultiResult(t, fmt.Sprintf("seed %d %s", seed, strat), serial, got)
+		}
+	}
+}

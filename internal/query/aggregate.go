@@ -62,6 +62,13 @@ func (a *Aggregate) theta(s *sensornet.Sensor) float64 {
 
 // NewState implements Query. The state keeps a covered-cells bitmap so
 // marginal coverage is O(region cells) instead of O(cells * |S|).
+//
+// Aggregate deliberately does NOT implement Submodular: the coverage
+// term G_q alone would be, but Eq. 5 multiplies it by the *mean* reading
+// quality, so committing a low-quality high-coverage sensor can raise a
+// high-quality sensor's later marginal gain. The lazy-greedy strategy
+// therefore re-evaluates aggregate gains eagerly rather than trusting
+// cached bounds.
 func (a *Aggregate) NewState() State {
 	cells := a.Grid.CellsIn(a.Region)
 	return &aggregateState{q: a, cells: cells, covered: make([]bool, len(cells))}

@@ -60,6 +60,10 @@ func (p *Point) Relevant(s *sensornet.Sensor) bool {
 // best of its sensors: v_q(S) = max_{s in S} v_q(s).
 func (p *Point) NewState() State { return &pointState{q: p} }
 
+// SubmodularValuation implements Submodular: a max over singletons has
+// non-increasing marginal gains.
+func (p *Point) SubmodularValuation() bool { return true }
+
 type pointState struct {
 	baseState
 	q    *Point
@@ -120,6 +124,10 @@ func (m *MultiPoint) Relevant(s *sensornet.Sensor) bool {
 func (m *MultiPoint) NewState() State {
 	return &multiPointState{q: m, top: make([]float64, 0, m.K)}
 }
+
+// SubmodularValuation implements Submodular: a top-K sum has
+// non-increasing marginal gains.
+func (m *MultiPoint) SubmodularValuation() bool { return true }
 
 type multiPointState struct {
 	baseState

@@ -49,6 +49,29 @@ type State interface {
 	Sensors() []*sensornet.Sensor
 }
 
+// Submodular is an optional marker interface for queries whose set
+// valuation is monotone submodular: for every A ⊆ B and sensor x ∉ B,
+// Gain(x | A) >= Gain(x | B). The lazy-greedy selection strategy
+// (internal/core) treats a marked query's cached marginal gains as upper
+// bounds that only need re-evaluation when the query's state changes;
+// unmarked queries are re-evaluated eagerly after every commit that
+// touches them. The marker must be truthful — a valuation that claims
+// submodularity but lets gains grow can defeat lazy-greedy's bound
+// invariant (a best-effort violation detector then forces exhaustive
+// rescans, but detection is not guaranteed).
+type Submodular interface {
+	// SubmodularValuation reports that Gain is non-increasing in the
+	// committed set.
+	SubmodularValuation() bool
+}
+
+// IsSubmodular reports whether the query advertises a monotone
+// submodular valuation.
+func IsSubmodular(q Query) bool {
+	m, ok := q.(Submodular)
+	return ok && m.SubmodularValuation()
+}
+
 // Value evaluates a query's valuation on an arbitrary sensor set by
 // replaying it through a fresh state. This is v_q(S) used by definitions
 // such as Eq. 13.

@@ -47,6 +47,39 @@ type (
 	RegionEventQuery = query.RegionEvent
 )
 
+// Selection-strategy surface of the greedy core (Algorithm 1). All
+// strategies return bit-identical selections, payments and welfare; they
+// differ only in how much work they do per slot.
+type (
+	// Strategy selects the candidate-evaluation algorithm of the greedy
+	// selection core.
+	Strategy = core.Strategy
+	// GreedyConfig tunes workers, sharding threshold and Strategy.
+	GreedyConfig = core.GreedyConfig
+	// SelectionStats counts valuation calls, lazy-heap re-evaluations
+	// and non-submodular fallbacks of one or many selection runs.
+	SelectionStats = core.SelectionStats
+)
+
+// The candidate-evaluation strategies.
+const (
+	// StrategyAuto is the historical default: serial below the sharding
+	// threshold, sharded above it.
+	StrategyAuto = core.StrategyAuto
+	// StrategySerial scans every remaining sensor each round.
+	StrategySerial = core.StrategySerial
+	// StrategySharded splits the scan across GOMAXPROCS workers.
+	StrategySharded = core.StrategySharded
+	// StrategyLazy is the CELF-style lazy-greedy fast path.
+	StrategyLazy = core.StrategyLazy
+	// StrategyLazySharded is StrategyLazy with sharded bound rebuilds.
+	StrategyLazySharded = core.StrategyLazySharded
+)
+
+// ParseStrategy parses a strategy name ("auto", "serial", "sharded",
+// "lazy", "lazy-sharded") as accepted by the CLIs.
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
 // Pt is shorthand for a Point.
 func Pt(x, y float64) Point { return geo.Pt(x, y) }
 
@@ -88,9 +121,14 @@ const (
 	// SchedulingEgalitarian maximizes the number of users with positive
 	// utility (§2's alternative objective).
 	SchedulingEgalitarian
+	// SchedulingGreedy schedules point-only slots through Algorithm 1's
+	// greedy pass, honoring the aggregator's selection strategy
+	// (WithGreedyStrategy) — the only policy whose point-only slots
+	// benefit from the lazy fast path and report selection stats.
+	SchedulingGreedy
 )
 
-func (s Scheduling) solver() core.PointSolver {
+func (s Scheduling) solver(cfg core.GreedyConfig) core.PointSolver {
 	switch s {
 	case SchedulingLocalSearch:
 		return core.LocalSearchPoint(core.DefaultLocalSearchEpsilon)
@@ -98,6 +136,8 @@ func (s Scheduling) solver() core.PointSolver {
 		return core.BaselinePoint()
 	case SchedulingEgalitarian:
 		return core.EgalitarianPoint()
+	case SchedulingGreedy:
+		return core.GreedyPointWith(cfg)
 	default:
 		return core.OptimalPoint(core.OptimalOptions{
 			WarmStartWithLocalSearch: true,
@@ -117,6 +157,8 @@ func (s Scheduling) String() string {
 		return "Baseline"
 	case SchedulingEgalitarian:
 		return "Egalitarian"
+	case SchedulingGreedy:
+		return "Greedy"
 	default:
 		return "Unknown"
 	}

@@ -73,6 +73,7 @@ func TestSchedulingString(t *testing.T) {
 		{SchedulingLocalSearch, "LocalSearch"},
 		{SchedulingBaseline, "Baseline"},
 		{SchedulingEgalitarian, "Egalitarian"},
+		{SchedulingGreedy, "Greedy"},
 		{Scheduling(42), "Unknown"},
 		{Scheduling(-1), "Unknown"},
 	}
