@@ -1,7 +1,7 @@
 package ps
 
 import (
-	"fmt"
+	"iter"
 	"slices"
 
 	"repro/internal/core"
@@ -119,81 +119,94 @@ func NewAggregator(world *World, opts ...Option) *Aggregator {
 // NextSlot returns the slot number the next RunSlot call will execute.
 func (a *Aggregator) NextSlot() int { return a.world.Fleet.Slot() + 1 }
 
+// The per-kind Submit* methods below are thin wrappers over the Spec
+// materialization used by Submit. They keep the historical signatures and
+// lenient semantics (no validation) for one release.
+
 // SubmitPoint submits a single-sensor point query for the next slot with
 // the world's dmax and the evaluation's theta_min.
+//
+// Deprecated: use Submit with a PointSpec.
 func (a *Aggregator) SubmitPoint(id string, loc Point, budget float64) *PointQuery {
-	q := query.NewPoint(id, loc, budget, a.world.DMax)
-	a.points = append(a.points, q)
-	return q
+	sq, _ := PointSpec{ID: id, Loc: loc, Budget: budget}.materialize(a)
+	return sq.query.(*PointQuery)
 }
 
 // SubmitMultiPoint submits a multiple-sensor point query asking for k
 // redundant readings.
+//
+// Deprecated: use Submit with a MultiPointSpec.
 func (a *Aggregator) SubmitMultiPoint(id string, loc Point, budget float64, k int) *MultiPointQuery {
-	q := query.NewMultiPoint(id, loc, budget, a.world.DMax, k)
-	a.extra = append(a.extra, q)
-	return q
+	sq, _ := MultiPointSpec{ID: id, Loc: loc, Budget: budget, K: k}.materialize(a)
+	return sq.query.(*MultiPointQuery)
 }
 
 // SubmitAggregate submits a spatial aggregate query over a region; the
 // sensing range defaults to the world's dmax.
+//
+// Deprecated: use Submit with an AggregateSpec.
 func (a *Aggregator) SubmitAggregate(id string, region Rect, budget float64) *AggregateQuery {
-	q := query.NewAggregate(id, region, budget, a.world.DMax, a.world.Grid)
-	a.aggs = append(a.aggs, q)
-	return q
+	sq, _ := AggregateSpec{ID: id, Region: region, Budget: budget}.materialize(a)
+	return sq.query.(*AggregateQuery)
 }
 
 // SubmitTrajectory submits a query over a trajectory.
+//
+// Deprecated: use Submit with a TrajectorySpec.
 func (a *Aggregator) SubmitTrajectory(id string, tr Trajectory, budget float64) *TrajectoryQuery {
-	q := query.NewTrajectory(id, tr, budget, a.world.DMax)
-	a.extra = append(a.extra, q)
-	return q
+	sq, _ := TrajectorySpec{ID: id, Path: tr, Budget: budget}.materialize(a)
+	return sq.query.(*TrajectoryQuery)
 }
 
 // SubmitLocationMonitoring submits a continuous location-monitoring query
 // running from the next slot for `duration` slots; desired sampling times
 // are chosen from the location's history ([19]); the budget should scale
 // with the duration.
+//
+// Deprecated: use Submit with a LocationMonitoringSpec.
 func (a *Aggregator) SubmitLocationMonitoring(id string, loc Point, duration int, budget float64, samples int) *LocationMonitoringQuery {
-	start := a.NextSlot()
-	hist := a.world.History(loc, start+duration+1)
-	q := query.NewLocationMonitoring(id, loc, start, start+duration-1, budget, a.world.DMax, hist, samples)
-	a.locMon = append(a.locMon, q)
-	return q
+	sq, _ := LocationMonitoringSpec{ID: id, Loc: loc, Duration: duration, Budget: budget, Samples: samples}.materialize(a)
+	return sq.query.(*LocationMonitoringQuery)
 }
 
 // SubmitRegionMonitoring submits a continuous region-monitoring query; it
 // requires a world with a learned GP model (NewIntelLabWorld provides
 // one).
+//
+// Deprecated: use Submit with a RegionMonitoringSpec.
 func (a *Aggregator) SubmitRegionMonitoring(id string, region Rect, duration int, budget float64) (*RegionMonitoringQuery, error) {
-	if a.world.GPModel == nil {
-		return nil, fmt.Errorf("ps: world %q has no GP phenomenon model; region monitoring needs one", a.world.Name)
+	sq, err := RegionMonitoringSpec{ID: id, Region: region, Duration: duration, Budget: budget}.materialize(a)
+	if err != nil {
+		return nil, err
 	}
-	start := a.NextSlot()
-	q := query.NewRegionMonitoring(id, region, start, start+duration-1, budget, a.world.GPModel, a.world.Grid)
-	a.regMon = append(a.regMon, q)
-	return q, nil
+	return sq.query.(*RegionMonitoringQuery), nil
 }
 
 // SubmitEventDetection submits a continuous event-detection query (the
 // §2.3 extension): redundant sampling every slot, notification when the
 // phenomenon exceeds threshold with the requested confidence.
+//
+// Deprecated: use Submit with an EventDetectionSpec.
 func (a *Aggregator) SubmitEventDetection(id string, loc Point, duration int, threshold, confidence, budgetPerSlot float64) *EventDetectionQuery {
-	start := a.NextSlot()
-	q := query.NewEventDetection(id, loc, start, start+duration-1, threshold, confidence, budgetPerSlot, a.world.DMax)
-	a.events = append(a.events, q)
-	return q
+	sq, _ := EventDetectionSpec{
+		ID: id, Loc: loc, Duration: duration,
+		Threshold: threshold, Confidence: confidence, BudgetPerSlot: budgetPerSlot,
+	}.materialize(a)
+	return sq.query.(*EventDetectionQuery)
 }
 
 // SubmitRegionEvent submits a continuous region event-detection query
 // (§2.3's Q4 as an extension): every slot a spatial-aggregate probe is
 // scheduled and the quality-weighted regional average is tested against
 // the threshold, with confidence scaled by achieved coverage.
+//
+// Deprecated: use Submit with a RegionEventSpec.
 func (a *Aggregator) SubmitRegionEvent(id string, region Rect, duration int, threshold, confidence, budgetPerSlot float64) *RegionEventQuery {
-	start := a.NextSlot()
-	q := query.NewRegionEvent(id, region, start, start+duration-1, threshold, confidence, budgetPerSlot, a.world.DMax, a.world.Grid)
-	a.regEvents = append(a.regEvents, q)
-	return q
+	sq, _ := RegionEventSpec{
+		ID: id, Region: region, Duration: duration,
+		Threshold: threshold, Confidence: confidence, BudgetPerSlot: budgetPerSlot,
+	}.materialize(a)
+	return sq.query.(*RegionEventQuery)
 }
 
 // EventNotification reports one event-detection evaluation.
@@ -212,6 +225,9 @@ type SlotReport struct {
 	Welfare     float64
 	TotalCost   float64
 	SensorsUsed int
+	// Offers is how many sensor offers (location + price) the slot had to
+	// choose from.
+	Offers int
 	// Per-type values obtained this slot.
 	PointValue  float64
 	AggValue    float64
@@ -243,6 +259,54 @@ func (r *SlotReport) Value(id string) float64 { return r.values[id] }
 // Payment returns what the query paid this slot.
 func (r *SlotReport) Payment(id string) float64 { return r.payments[id] }
 
+// QueryOutcome is one query's outcome in one slot, as enumerated by
+// SlotReport.Outcomes.
+type QueryOutcome struct {
+	// Answered reports whether the query was served this slot (positive
+	// value, or a satisfied continuous sample).
+	Answered bool
+	// Value is the valuation obtained, Payment what was paid.
+	Value   float64
+	Payment float64
+}
+
+// Outcomes iterates over every query with a recorded outcome this slot
+// (id -> answered/value/payment), in unspecified order. It is the bulk
+// companion of the per-id Answered/Value/Payment getters — each yielded
+// outcome is exactly what those getters return for the id — so callers
+// can enumerate a slot's results without knowing the live query IDs.
+func (r *SlotReport) Outcomes() iter.Seq2[string, QueryOutcome] {
+	return func(yield func(string, QueryOutcome) bool) {
+		seen := make(map[string]bool, len(r.values))
+		emit := func(id string) bool {
+			if seen[id] {
+				return true
+			}
+			seen[id] = true
+			return yield(id, QueryOutcome{
+				Answered: r.Answered(id),
+				Value:    r.Value(id),
+				Payment:  r.Payment(id),
+			})
+		}
+		for id := range r.values {
+			if !emit(id) {
+				return
+			}
+		}
+		for id := range r.payments {
+			if !emit(id) {
+				return
+			}
+		}
+		for id := range r.answered {
+			if !emit(id) {
+				return
+			}
+		}
+	}
+}
+
 // RunSlot advances the world one time slot and executes the pending and
 // continuous queries: pure point workloads use the configured scheduling
 // policy directly (§3.1); anything else goes through the Algorithm 5
@@ -254,6 +318,7 @@ func (a *Aggregator) RunSlot() *SlotReport {
 	t := a.world.Fleet.Slot()
 	report := &SlotReport{
 		Slot:     t,
+		Offers:   len(offers),
 		values:   make(map[string]float64),
 		payments: make(map[string]float64),
 		answered: make(map[string]bool),
@@ -318,11 +383,25 @@ func (a *Aggregator) RunSlot() *SlotReport {
 		report.LocMonValue = res.LocMonValue
 		report.RegMonValue = res.RegMonValue
 		report.ExtraValue = res.ExtraValue
-		for qid, out := range res.Multi.Outcomes {
-			if out.Value > 0 {
+		// Record user-submitted one-shots only: the probe queries the
+		// pipeline generates for continuous parents carry derived IDs
+		// (query.PointID), and their value/payments are projected onto
+		// the parent ID below — copying them here too would make
+		// Outcomes() double-count continuous work under phantom IDs.
+		recordUser := func(qid string) {
+			if out := res.Multi.Outcomes[qid]; out != nil && out.Value > 0 {
 				report.values[qid] = out.Value
 				report.payments[qid] = out.TotalPayment()
 			}
+		}
+		for _, q := range a.points {
+			recordUser(q.QID())
+		}
+		for _, q := range a.aggs {
+			recordUser(q.QID())
+		}
+		for _, q := range a.extra {
+			recordUser(q.QID())
 		}
 		for qid, o := range res.PointOutcomes {
 			report.values[qid] = o.Value

@@ -155,7 +155,7 @@ func runEngineLoad(seed int64, sensors, slots, perSlot, aggsPerSlot, clients int
 				rnd := rng.New(seed, fmt.Sprintf("load-%d-%d", t, c))
 				for i := c; i < perSlot; i += clients {
 					loc := ps.Pt(rnd.Uniform(w.MinX, w.MaxX), rnd.Uniform(w.MinY, w.MaxY))
-					h, err := eng.SubmitPoint(fmt.Sprintf("p%d-%d", t, i), loc, 15)
+					h, err := eng.Submit(ps.PointSpec{ID: fmt.Sprintf("p%d-%d", t, i), Loc: loc, Budget: 15})
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "psbench: submit: %v\n", err)
 						os.Exit(1)
@@ -166,7 +166,7 @@ func runEngineLoad(seed int64, sensors, slots, perSlot, aggsPerSlot, clients int
 					x := rnd.Uniform(w.MinX, w.MaxX-20)
 					y := rnd.Uniform(w.MinY, w.MaxY-20)
 					region := ps.NewRect(x, y, x+rnd.Uniform(10, 20), y+rnd.Uniform(10, 20))
-					h, err := eng.SubmitAggregate(fmt.Sprintf("a%d-%d", t, i), region, 300)
+					h, err := eng.Submit(ps.AggregateSpec{ID: fmt.Sprintf("a%d-%d", t, i), Region: region, Budget: 300})
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "psbench: submit: %v\n", err)
 						os.Exit(1)

@@ -56,30 +56,49 @@ func (r *scenarioRun) id(prefix string, t, i int) string {
 	return fmt.Sprintf("%s-%s%d-%d", r.sc.Name, prefix, t, i)
 }
 
+// submit routes every scenario submission through the unified QuerySpec
+// API; a rejected spec is a bug in the scenario definition.
+func (r *scenarioRun) submit(spec ps.Spec, oneShot bool) {
+	sq, err := r.agg.Submit(spec)
+	if err != nil {
+		panic(fmt.Sprintf("psbench: scenario %s: %v", r.sc.Name, err))
+	}
+	if oneShot {
+		r.oneShots = append(r.oneShots, sq.ID)
+	} else {
+		r.continuous = append(r.continuous, sq.ID)
+	}
+	r.submitted++
+}
+
 func (r *scenarioRun) point(t, i int, budget float64) {
 	w := r.world.Working
-	id := r.id("pt", t, i)
-	r.agg.SubmitPoint(id, ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)), budget)
-	r.oneShots = append(r.oneShots, id)
-	r.submitted++
+	r.submit(ps.PointSpec{
+		ID:     r.id("pt", t, i),
+		Loc:    ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
+		Budget: budget,
+	}, true)
 }
 
 func (r *scenarioRun) multiPoint(t, i int, budget float64, k int) {
 	w := r.world.Working
-	id := r.id("mp", t, i)
-	r.agg.SubmitMultiPoint(id, ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)), budget, k)
-	r.oneShots = append(r.oneShots, id)
-	r.submitted++
+	r.submit(ps.MultiPointSpec{
+		ID:     r.id("mp", t, i),
+		Loc:    ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
+		Budget: budget,
+		K:      k,
+	}, true)
 }
 
 func (r *scenarioRun) aggregate(t, i int, budget, minDim, maxDim float64) {
 	w := r.world.Working
 	x := r.rnd.Uniform(w.MinX, w.MaxX-maxDim)
 	y := r.rnd.Uniform(w.MinY, w.MaxY-maxDim)
-	id := r.id("agg", t, i)
-	r.agg.SubmitAggregate(id, ps.NewRect(x, y, x+r.rnd.Uniform(minDim, maxDim), y+r.rnd.Uniform(minDim, maxDim)), budget)
-	r.oneShots = append(r.oneShots, id)
-	r.submitted++
+	r.submit(ps.AggregateSpec{
+		ID:     r.id("agg", t, i),
+		Region: ps.NewRect(x, y, x+r.rnd.Uniform(minDim, maxDim), y+r.rnd.Uniform(minDim, maxDim)),
+		Budget: budget,
+	}, true)
 }
 
 func (r *scenarioRun) trajectory(t, i int, budget float64) {
@@ -89,10 +108,7 @@ func (r *scenarioRun) trajectory(t, i int, budget float64) {
 		ps.Pt(x, y),
 		ps.Pt(x+r.rnd.Uniform(5, 20), y+r.rnd.Uniform(5, 20)),
 	}}
-	id := r.id("tr", t, i)
-	r.agg.SubmitTrajectory(id, tr, budget)
-	r.oneShots = append(r.oneShots, id)
-	r.submitted++
+	r.submit(ps.TrajectorySpec{ID: r.id("tr", t, i), Path: tr, Budget: budget}, true)
 }
 
 // scenarios is the pinned scenario registry. Workload sizes are chosen
@@ -161,28 +177,35 @@ var scenarios = []scenario{
 		setup: func(r *scenarioRun) {
 			w := r.world.Working
 			for i := 0; i < 20; i++ {
-				id := fmt.Sprintf("%s-lm-%d", r.sc.Name, i)
-				r.agg.SubmitLocationMonitoring(id,
-					ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
-					r.sc.Slots, 150, 6)
-				r.continuous = append(r.continuous, id)
-				r.submitted++
+				r.submit(ps.LocationMonitoringSpec{
+					ID:       fmt.Sprintf("%s-lm-%d", r.sc.Name, i),
+					Loc:      ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
+					Duration: r.sc.Slots,
+					Budget:   150,
+					Samples:  6,
+				}, false)
 			}
 			for i := 0; i < 8; i++ {
-				id := fmt.Sprintf("%s-ev-%d", r.sc.Name, i)
-				r.agg.SubmitEventDetection(id,
-					ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
-					r.sc.Slots, 0.7, 0.8, 40)
-				r.continuous = append(r.continuous, id)
-				r.submitted++
+				r.submit(ps.EventDetectionSpec{
+					ID:            fmt.Sprintf("%s-ev-%d", r.sc.Name, i),
+					Loc:           ps.Pt(r.rnd.Uniform(w.MinX, w.MaxX), r.rnd.Uniform(w.MinY, w.MaxY)),
+					Duration:      r.sc.Slots,
+					Threshold:     0.7,
+					Confidence:    0.8,
+					BudgetPerSlot: 40,
+				}, false)
 			}
 			for i := 0; i < 4; i++ {
-				id := fmt.Sprintf("%s-re-%d", r.sc.Name, i)
 				x := r.rnd.Uniform(w.MinX, w.MaxX-20)
 				y := r.rnd.Uniform(w.MinY, w.MaxY-20)
-				r.agg.SubmitRegionEvent(id, ps.NewRect(x, y, x+15, y+15), r.sc.Slots, 0.7, 0.6, 80)
-				r.continuous = append(r.continuous, id)
-				r.submitted++
+				r.submit(ps.RegionEventSpec{
+					ID:            fmt.Sprintf("%s-re-%d", r.sc.Name, i),
+					Region:        ps.NewRect(x, y, x+15, y+15),
+					Duration:      r.sc.Slots,
+					Threshold:     0.7,
+					Confidence:    0.6,
+					BudgetPerSlot: 80,
+				}, false)
 			}
 		},
 		slot: func(r *scenarioRun, t int) {

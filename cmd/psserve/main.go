@@ -1,30 +1,22 @@
 // Command psserve runs the streaming engine as a long-lived HTTP daemon:
 // a simulated participatory-sensing world advances one time slot per
-// tick, and clients submit queries and poll their per-slot results.
-//
-// Endpoints:
-//
-//	POST   /query        submit a query (JSON body, see queryRequest)
-//	GET    /query/{id}   status + accumulated per-slot results
-//	DELETE /query/{id}   cancel a pending or continuous query
-//	GET    /metrics      engine-wide metrics snapshot (incl. valuation-
-//	                     call and lazy-heap counters of the greedy core)
-//	GET    /strategy     current candidate-evaluation strategy
-//	POST   /strategy     switch it at runtime ({"strategy":"lazy"})
-//	GET    /healthz      liveness + current slot
+// tick, and clients submit queries and poll their per-slot results. The
+// HTTP API lives in package serve, the JSON wire format in package wire,
+// and the matching Go SDK in package psclient; this command only parses
+// flags and wires them together.
 //
 // Example:
 //
 //	psserve -addr :8080 -world rwm -sensors 200 -interval 1s -strategy lazy
 //	curl -s -X POST localhost:8080/query -d \
-//	  '{"type":"point","loc":{"x":30,"y":30},"budget":15}'
+//	  '{"v":1,"type":"point","loc":{"x":30,"y":30},"budget":15}'
 //	curl -s localhost:8080/query/q1
+//	curl -s 'localhost:8080/queries?limit=10'
 //	curl -s -X POST localhost:8080/strategy -d '{"strategy":"lazy-sharded"}'
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,12 +24,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	ps "repro"
+	"repro/serve"
 )
 
 func main() {
@@ -51,7 +42,7 @@ func main() {
 		strategy = flag.String("strategy", "auto", "greedy selection strategy: auto, serial, sharded, lazy or lazy-sharded")
 		queue    = flag.Int("queue", 1024, "ingest queue size")
 		drain    = flag.Int("drain", 64, "max slots run at shutdown to drain continuous queries")
-		retain   = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable")
+		retain   = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable (0 = evict at the next sweep)")
 	)
 	flag.Parse()
 
@@ -79,7 +70,14 @@ func main() {
 	)
 	eng.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(eng, w, *retain, strat).handler()}
+	// The flag keeps its historical meaning: 0 evicts finished records at
+	// the next sweep.
+	handler := serve.New(eng, w, serve.Options{
+		Retain:      *retain,
+		NoRetention: *retain <= 0,
+		Strategy:    strat,
+	}).Handler()
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("psserve: serving %s world (%d sensors) on %s, slot every %v, strategy %s",
 			*world, *sensors, *addr, *interval, strat)
@@ -128,443 +126,4 @@ func parseScheduling(s string) (ps.Scheduling, error) {
 	default:
 		return 0, fmt.Errorf("unknown scheduling %q", s)
 	}
-}
-
-// server owns the HTTP-side query registry. Each accepted query gets a
-// consumer goroutine moving results from its subscription into the
-// registry, so slow or absent HTTP pollers never block the slot clock.
-// Finished records stay pollable for `retain`, then are evicted by an
-// amortized sweep on the submit path — the registry stays bounded on a
-// long-lived daemon.
-type server struct {
-	eng    *ps.Engine
-	world  *ps.World
-	retain time.Duration
-	autoID atomic.Int64
-	// strategy mirrors the engine's configured selection strategy for
-	// display; writes go through POST /strategy.
-	strategy atomic.Int32
-
-	mu      sync.Mutex
-	queries map[string]*queryRecord
-	submits int
-}
-
-// sweepEvery is how many submissions pass between eviction sweeps.
-const sweepEvery = 256
-
-// maxResultsPerQuery caps the per-record result history of long-lived
-// continuous queries; older entries are discarded and counted.
-const maxResultsPerQuery = 1024
-
-func newServer(eng *ps.Engine, world *ps.World, retain time.Duration, strat ps.Strategy) *server {
-	s := &server{eng: eng, world: world, retain: retain, queries: make(map[string]*queryRecord)}
-	s.strategy.Store(int32(strat))
-	return s
-}
-
-// sweepLocked evicts finished records past the retention window. Caller
-// holds s.mu.
-func (s *server) sweepLocked() {
-	cutoff := time.Now().Add(-s.retain)
-	for id, rec := range s.queries {
-		rec.mu.Lock()
-		expired := rec.done && rec.doneAt.Before(cutoff)
-		rec.mu.Unlock()
-		if expired {
-			delete(s.queries, id)
-		}
-	}
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleSubmit)
-	mux.HandleFunc("GET /query/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /strategy", s.handleGetStrategy)
-	mux.HandleFunc("POST /strategy", s.handleSetStrategy)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
-}
-
-// queryRequest is the JSON codec for POST /query. Type selects the query
-// kind; the other fields are read as that kind requires.
-type queryRequest struct {
-	Type string `json:"type"` // point, multipoint, aggregate, trajectory, locmon, regmon, event, regionevent
-	ID   string `json:"id,omitempty"`
-
-	Loc    *xyJSON  `json:"loc,omitempty"`
-	Region *boxJSON `json:"region,omitempty"`
-	Path   []xyJSON `json:"path,omitempty"`
-
-	Budget        float64 `json:"budget,omitempty"`
-	BudgetPerSlot float64 `json:"budget_per_slot,omitempty"`
-	K             int     `json:"k,omitempty"`
-	Duration      int     `json:"duration,omitempty"`
-	Samples       int     `json:"samples,omitempty"`
-	Threshold     float64 `json:"threshold,omitempty"`
-	Confidence    float64 `json:"confidence,omitempty"`
-}
-
-type xyJSON struct {
-	X float64 `json:"x"`
-	Y float64 `json:"y"`
-}
-
-type boxJSON struct {
-	X0 float64 `json:"x0"`
-	Y0 float64 `json:"y0"`
-	X1 float64 `json:"x1"`
-	Y1 float64 `json:"y1"`
-}
-
-type eventJSON struct {
-	Slot       int     `json:"slot"`
-	Detected   bool    `json:"detected"`
-	Confidence float64 `json:"confidence"`
-	Reading    float64 `json:"reading"`
-}
-
-type resultJSON struct {
-	Slot     int         `json:"slot"`
-	Answered bool        `json:"answered"`
-	Value    float64     `json:"value"`
-	Payment  float64     `json:"payment"`
-	Final    bool        `json:"final"`
-	Events   []eventJSON `json:"events,omitempty"`
-}
-
-type queryRecord struct {
-	id  string
-	typ string
-
-	mu        sync.Mutex
-	results   []resultJSON
-	truncated int // results discarded beyond maxResultsPerQuery
-	done      bool
-	doneAt    time.Time
-	errMsg    string
-
-	handle *ps.QueryHandle
-}
-
-func (r *queryRecord) isDone() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.done
-}
-
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
-	id := req.ID
-	if id == "" {
-		id = fmt.Sprintf("q%d", s.autoID.Add(1))
-	}
-
-	// Reserve the registry slot before submitting so a duplicate ID can
-	// never orphan a live query's record; finished IDs may be reused.
-	rec := &queryRecord{id: id, typ: req.Type}
-	s.mu.Lock()
-	old := s.queries[id]
-	if old != nil && !old.isDone() {
-		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "query %q already exists", id)
-		return
-	}
-	s.queries[id] = rec
-	s.submits++
-	if s.submits%sweepEvery == 0 {
-		s.sweepLocked()
-	}
-	s.mu.Unlock()
-
-	h, err := s.submit(id, &req)
-	if err != nil {
-		// Put back whatever was reserved over — a failed submission must
-		// not evict a finished record still inside its retention window.
-		s.mu.Lock()
-		if old != nil {
-			s.queries[id] = old
-		} else {
-			delete(s.queries, id)
-		}
-		s.mu.Unlock()
-		status := http.StatusBadRequest
-		if err == ps.ErrQueueFull {
-			status = http.StatusTooManyRequests
-		} else if err == ps.ErrEngineStopped {
-			status = http.StatusServiceUnavailable
-		}
-		httpError(w, status, "%v", err)
-		return
-	}
-	rec.mu.Lock()
-	rec.handle = h
-	rec.mu.Unlock()
-	go rec.consume()
-
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, map[string]any{"id": id, "status": "accepted"})
-}
-
-func (s *server) submit(id string, req *queryRequest) (*ps.QueryHandle, error) {
-	needLoc := func() (ps.Point, error) {
-		if req.Loc == nil {
-			return ps.Point{}, fmt.Errorf("query type %q needs \"loc\"", req.Type)
-		}
-		return ps.Pt(req.Loc.X, req.Loc.Y), nil
-	}
-	needRegion := func() (ps.Rect, error) {
-		if req.Region == nil {
-			return ps.Rect{}, fmt.Errorf("query type %q needs \"region\"", req.Type)
-		}
-		return ps.NewRect(req.Region.X0, req.Region.Y0, req.Region.X1, req.Region.Y1), nil
-	}
-
-	switch strings.ToLower(req.Type) {
-	case "point":
-		loc, err := needLoc()
-		if err != nil {
-			return nil, err
-		}
-		return s.eng.SubmitPoint(id, loc, req.Budget)
-	case "multipoint":
-		loc, err := needLoc()
-		if err != nil {
-			return nil, err
-		}
-		return s.eng.SubmitMultiPoint(id, loc, req.Budget, req.K)
-	case "aggregate":
-		region, err := needRegion()
-		if err != nil {
-			return nil, err
-		}
-		return s.eng.SubmitAggregate(id, region, req.Budget)
-	case "trajectory":
-		if len(req.Path) < 2 {
-			return nil, fmt.Errorf("trajectory needs a \"path\" of >= 2 waypoints")
-		}
-		tr := ps.Trajectory{}
-		for _, p := range req.Path {
-			tr.Waypoints = append(tr.Waypoints, ps.Pt(p.X, p.Y))
-		}
-		return s.eng.SubmitTrajectory(id, tr, req.Budget)
-	case "locmon":
-		loc, err := needLoc()
-		if err != nil {
-			return nil, err
-		}
-		return s.eng.SubmitLocationMonitoring(id, loc, req.Duration, req.Budget, req.Samples)
-	case "regmon":
-		region, err := needRegion()
-		if err != nil {
-			return nil, err
-		}
-		// The engine would surface this asynchronously via the handle;
-		// reject up front so the client gets a 400 instead of a 202 that
-		// can never produce results.
-		if s.world.GPModel == nil {
-			return nil, fmt.Errorf("world %q has no GP phenomenon model; region monitoring is unavailable", s.world.Name)
-		}
-		return s.eng.SubmitRegionMonitoring(id, region, req.Duration, req.Budget)
-	case "event":
-		loc, err := needLoc()
-		if err != nil {
-			return nil, err
-		}
-		return s.eng.SubmitEventDetection(id, loc, req.Duration, req.Threshold, req.Confidence, req.BudgetPerSlot)
-	case "regionevent":
-		region, err := needRegion()
-		if err != nil {
-			return nil, err
-		}
-		return s.eng.SubmitRegionEvent(id, region, req.Duration, req.Threshold, req.Confidence, req.BudgetPerSlot)
-	default:
-		return nil, fmt.Errorf("unknown query type %q", req.Type)
-	}
-}
-
-// consume moves subscription results into the record until the stream
-// closes.
-func (r *queryRecord) consume() {
-	for res := range r.handle.Results() {
-		j := resultJSON{
-			Slot:     res.Slot,
-			Answered: res.Answered,
-			Value:    res.Value,
-			Payment:  res.Payment,
-			Final:    res.Final,
-		}
-		for _, ev := range res.Events {
-			j.Events = append(j.Events, eventJSON{
-				Slot: ev.Slot, Detected: ev.Detected, Confidence: ev.Confidence, Reading: ev.Reading,
-			})
-		}
-		r.mu.Lock()
-		if len(r.results) >= maxResultsPerQuery {
-			r.results = r.results[1:]
-			r.truncated++
-		}
-		r.results = append(r.results, j)
-		r.mu.Unlock()
-	}
-	r.mu.Lock()
-	r.done = true
-	r.doneAt = time.Now()
-	if err := r.handle.Err(); err != nil {
-		r.errMsg = err.Error()
-	}
-	r.mu.Unlock()
-}
-
-func (s *server) record(id string) *queryRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.queries[id]
-}
-
-func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
-	rec := s.record(r.PathValue("id"))
-	if rec == nil {
-		httpError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
-		return
-	}
-	rec.mu.Lock()
-	resp := map[string]any{
-		"id":      rec.id,
-		"type":    rec.typ,
-		"done":    rec.done,
-		"results": append([]resultJSON(nil), rec.results...),
-	}
-	if rec.truncated > 0 {
-		resp["results_truncated"] = rec.truncated
-	}
-	if rec.errMsg != "" {
-		resp["error"] = rec.errMsg
-	}
-	rec.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, resp)
-}
-
-func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	rec := s.record(r.PathValue("id"))
-	if rec == nil {
-		httpError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
-		return
-	}
-	rec.mu.Lock()
-	h := rec.handle
-	done := rec.done
-	rec.mu.Unlock()
-	if h == nil {
-		httpError(w, http.StatusConflict, "query %q still registering", rec.id)
-		return
-	}
-	if done {
-		httpError(w, http.StatusGone, "query %q already finished", rec.id)
-		return
-	}
-	if err := h.Cancel(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "cancel: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]any{"id": rec.id, "status": "canceling"})
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	m := s.eng.Metrics()
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]any{
-		"slots":             m.Slots,
-		"last_slot":         m.LastSlot,
-		"total_welfare":     m.TotalWelfare,
-		"last_welfare":      m.LastWelfare,
-		"total_payments":    m.TotalPayments,
-		"total_cost":        m.TotalCost,
-		"sensors_used":      m.SensorsUsed,
-		"queries_submitted": m.QueriesSubmitted,
-		"queries_rejected":  m.QueriesRejected,
-		"queries_canceled":  m.QueriesCanceled,
-		"active_queries":    m.ActiveQueries,
-		"answered":          m.Answered,
-		"starved":           m.Starved,
-		"results_delivered": m.ResultsDelivered,
-		"results_dropped":   m.ResultsDropped,
-		"queue_depth":       m.QueueDepth,
-		"queue_cap":         m.QueueCap,
-		"slot_latency_last": m.SlotLatencyLast.String(),
-		"slot_latency_avg":  m.SlotLatencyAvg.String(),
-		"slot_latency_max":  m.SlotLatencyMax.String(),
-		// Greedy selection core instrumentation (see ps.SelectionStats).
-		"strategy":                 ps.Strategy(s.strategy.Load()).String(),
-		"strategy_last_slot":       m.Strategy,
-		"valuation_calls":          m.ValuationCalls,
-		"valuation_calls_saved":    m.ValuationCallsSaved,
-		"lazy_reevaluations":       m.LazyReevaluations,
-		"submodularity_violations": m.SubmodularityViolations,
-		"fallback_rescans":         m.FallbackRescans,
-	})
-}
-
-func (s *server) handleGetStrategy(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]any{"strategy": ps.Strategy(s.strategy.Load()).String()})
-}
-
-// handleSetStrategy switches the candidate-evaluation strategy of the
-// live engine. Selections are bit-identical across strategies, so the
-// switch is safe mid-stream; it takes effect from the next slot.
-func (s *server) handleSetStrategy(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Strategy string `json:"strategy"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
-	// ParseStrategy treats "" as auto; an absent field must not silently
-	// reset a live engine, so require an explicit name here.
-	if req.Strategy == "" {
-		httpError(w, http.StatusBadRequest, `missing "strategy" (want auto, serial, sharded, lazy or lazy-sharded)`)
-		return
-	}
-	strat, err := ps.ParseStrategy(req.Strategy)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if err := s.eng.SetGreedyStrategy(strat); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "set strategy: %v", err)
-		return
-	}
-	s.strategy.Store(int32(strat))
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]any{"strategy": strat.String(), "status": "ok"})
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	m := s.eng.Metrics()
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]any{"ok": true, "slots": m.Slots, "queue_depth": m.QueueDepth})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("psserve: encode response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	writeJSON(w, map[string]any{"error": fmt.Sprintf(format, args...)})
 }

@@ -1,282 +1,58 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"net/http"
-	"net/http/httptest"
 	"testing"
-	"time"
 
 	ps "repro"
 )
 
-// newTestStack builds a virtual-clock engine behind the HTTP handler so
-// the test controls slot execution deterministically.
-func newTestStack(t *testing.T, opts ...ps.Option) (*ps.Engine, *httptest.Server) {
-	t.Helper()
-	world := ps.NewRWMWorld(1, 200, ps.SensorConfig{})
-	eng := ps.NewEngine(ps.NewAggregator(world, opts...))
-	eng.Start()
-	ts := httptest.NewServer(newServer(eng, world, 10*time.Minute, ps.StrategyAuto).handler())
-	t.Cleanup(func() {
-		ts.Close()
-		eng.Stop()
-	})
-	return eng, ts
-}
+// The HTTP handler itself is covered in package serve (and end-to-end by
+// package psclient); here we test the flag-level wiring.
 
-func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
-	t.Helper()
-	buf, err := json.Marshal(body)
-	if err != nil {
-		t.Fatalf("marshal: %v", err)
+func TestBuildWorld(t *testing.T) {
+	tests := []struct {
+		kind    string
+		wantErr bool
+	}{
+		{"rwm", false},
+		{"RWM", false},
+		{"rnc", false},
+		{"intellab", false},
+		{"atlantis", true},
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		t.Fatalf("POST %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decode: %v", err)
-	}
-	return resp.StatusCode, out
-}
-
-func getJSON(t *testing.T, url string) (int, map[string]any) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatalf("GET %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decode: %v", err)
-	}
-	return resp.StatusCode, out
-}
-
-func TestServePointQueryEndToEnd(t *testing.T) {
-	eng, ts := newTestStack(t)
-
-	status, resp := postJSON(t, ts.URL+"/query", map[string]any{
-		"type": "point", "id": "p1", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
-	})
-	if status != http.StatusAccepted || resp["id"] != "p1" {
-		t.Fatalf("submit: status %d resp %v", status, resp)
-	}
-
-	if err := eng.RunSlots(1); err != nil {
-		t.Fatalf("RunSlots: %v", err)
-	}
-
-	// The consumer goroutine moves the result into the registry; poll briefly.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		status, resp = getJSON(t, ts.URL+"/query/p1")
-		if status != http.StatusOK {
-			t.Fatalf("get: status %d resp %v", status, resp)
+	for _, tc := range tests {
+		w, err := buildWorld(tc.kind, 1, 50)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("buildWorld(%q): err = %v, wantErr %v", tc.kind, err, tc.wantErr)
 		}
-		if resp["done"] == true {
-			break
+		if !tc.wantErr && w == nil {
+			t.Errorf("buildWorld(%q) returned nil world", tc.kind)
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("query never completed: %v", resp)
-		}
-		time.Sleep(time.Millisecond)
-	}
-	results, ok := resp["results"].([]any)
-	if !ok || len(results) != 1 {
-		t.Fatalf("results = %v, want exactly 1", resp["results"])
-	}
-	r0 := results[0].(map[string]any)
-	if r0["final"] != true {
-		t.Errorf("result not final: %v", r0)
-	}
-	if r0["answered"] == true {
-		if v, p := r0["value"].(float64), r0["payment"].(float64); p >= v {
-			t.Errorf("payment %v >= value %v", p, v)
-		}
-	}
-
-	// Engine metrics reflect the slot.
-	status, m := getJSON(t, ts.URL+"/metrics")
-	if status != http.StatusOK || m["slots"].(float64) != 1 || m["queries_submitted"].(float64) != 1 {
-		t.Fatalf("metrics = %v", m)
-	}
-	status, h := getJSON(t, ts.URL+"/healthz")
-	if status != http.StatusOK || h["ok"] != true {
-		t.Fatalf("healthz = %v", h)
-	}
-
-	// Canceling an already-finished query is not "canceling": 410.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/query/p1", nil)
-	dresp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatalf("DELETE: %v", err)
-	}
-	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusGone {
-		t.Errorf("DELETE finished query: status %d, want 410", dresp.StatusCode)
 	}
 }
 
-func TestServeContinuousCancel(t *testing.T) {
-	eng, ts := newTestStack(t)
-
-	status, resp := postJSON(t, ts.URL+"/query", map[string]any{
-		"type": "locmon", "loc": map[string]float64{"x": 30, "y": 30},
-		"budget": 120, "duration": 20, "samples": 5,
-	})
-	if status != http.StatusAccepted {
-		t.Fatalf("submit: status %d resp %v", status, resp)
+func TestParseScheduling(t *testing.T) {
+	tests := []struct {
+		name    string
+		want    ps.Scheduling
+		wantErr bool
+	}{
+		{"optimal", ps.SchedulingOptimal, false},
+		{"localsearch", ps.SchedulingLocalSearch, false},
+		{"baseline", ps.SchedulingBaseline, false},
+		{"egalitarian", ps.SchedulingEgalitarian, false},
+		{"greedy", ps.SchedulingGreedy, false},
+		{"Greedy", ps.SchedulingGreedy, false},
+		{"fifo", 0, true},
 	}
-	id := resp["id"].(string)
-	if err := eng.RunSlots(2); err != nil {
-		t.Fatalf("RunSlots: %v", err)
-	}
-
-	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/query/%s", ts.URL, id), nil)
-	cresp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatalf("DELETE: %v", err)
-	}
-	cresp.Body.Close()
-	if cresp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel status = %d", cresp.StatusCode)
-	}
-
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		_, resp = getJSON(t, ts.URL+"/query/"+id)
-		if resp["done"] == true {
-			break
+	for _, tc := range tests {
+		got, err := parseScheduling(tc.name)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("parseScheduling(%q): err = %v, wantErr %v", tc.name, err, tc.wantErr)
+			continue
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("cancel never completed: %v", resp)
+		if !tc.wantErr && got != tc.want {
+			t.Errorf("parseScheduling(%q) = %v, want %v", tc.name, got, tc.want)
 		}
-		time.Sleep(time.Millisecond)
-	}
-	if resp["error"] != ps.ErrCanceled.Error() {
-		t.Fatalf("error = %v, want %q", resp["error"], ps.ErrCanceled.Error())
-	}
-	if results := resp["results"].([]any); len(results) != 2 {
-		t.Fatalf("got %d results before cancel, want 2", len(results))
-	}
-}
-
-func TestServeBadRequests(t *testing.T) {
-	_, ts := newTestStack(t)
-
-	status, _ := postJSON(t, ts.URL+"/query", map[string]any{"type": "nonsense"})
-	if status != http.StatusBadRequest {
-		t.Errorf("unknown type: status %d, want 400", status)
-	}
-	status, _ = postJSON(t, ts.URL+"/query", map[string]any{"type": "point", "budget": 10})
-	if status != http.StatusBadRequest {
-		t.Errorf("missing loc: status %d, want 400", status)
-	}
-	status, _ = getJSON(t, ts.URL+"/query/absent")
-	if status != http.StatusNotFound {
-		t.Errorf("unknown id: status %d, want 404", status)
-	}
-	// regmon needs a GP world; the RWM test world must be rejected up
-	// front with 400, not accepted into a subscription that cannot work.
-	status, _ = postJSON(t, ts.URL+"/query", map[string]any{
-		"type": "regmon", "region": map[string]float64{"x0": 20, "y0": 20, "x1": 40, "y1": 40},
-		"budget": 100, "duration": 5,
-	})
-	if status != http.StatusBadRequest {
-		t.Errorf("regmon without GP model: status %d, want 400", status)
-	}
-
-	// A live query ID cannot be reused: the registry rejects it without
-	// touching the engine, so the original record stays reachable.
-	body := map[string]any{"type": "locmon", "id": "taken",
-		"loc": map[string]float64{"x": 30, "y": 30}, "budget": 120, "duration": 20, "samples": 5}
-	if status, _ := postJSON(t, ts.URL+"/query", body); status != http.StatusAccepted {
-		t.Fatalf("first submit: status %d", status)
-	}
-	if status, _ := postJSON(t, ts.URL+"/query", body); status != http.StatusConflict {
-		t.Errorf("duplicate live id: status %d, want 409", status)
-	}
-}
-
-// TestServeStrategyAndSelectionMetrics drives a mixed slot through the
-// lazy strategy and checks that /metrics exposes the valuation-call and
-// lazy-heap counters, and that /strategy switches at runtime.
-func TestServeStrategyAndSelectionMetrics(t *testing.T) {
-	eng, ts := newTestStack(t, ps.WithGreedyStrategy(ps.StrategyLazy))
-
-	// An aggregate query routes the slot through the greedy mix pipeline.
-	status, _ := postJSON(t, ts.URL+"/query", map[string]any{
-		"type": "aggregate", "id": "a1",
-		"region": map[string]float64{"x0": 20, "y0": 20, "x1": 45, "y1": 45}, "budget": 300,
-	})
-	if status != http.StatusAccepted {
-		t.Fatalf("submit aggregate: status %d", status)
-	}
-	postJSON(t, ts.URL+"/query", map[string]any{
-		"type": "point", "id": "p1", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
-	})
-	if err := eng.RunSlots(1); err != nil {
-		t.Fatalf("RunSlots: %v", err)
-	}
-
-	status, m := getJSON(t, ts.URL+"/metrics")
-	if status != http.StatusOK {
-		t.Fatalf("metrics: status %d", status)
-	}
-	if m["valuation_calls"].(float64) <= 0 {
-		t.Errorf("valuation_calls = %v, want > 0", m["valuation_calls"])
-	}
-	if m["strategy_last_slot"] != "lazy" {
-		t.Errorf("strategy_last_slot = %v, want lazy", m["strategy_last_slot"])
-	}
-	for _, key := range []string{"valuation_calls_saved", "lazy_reevaluations", "submodularity_violations", "fallback_rescans"} {
-		if _, ok := m[key].(float64); !ok {
-			t.Errorf("metrics missing %s: %v", key, m[key])
-		}
-	}
-
-	// Runtime strategy switch: reported by GET /strategy and used by the
-	// next slot.
-	status, resp := postJSON(t, ts.URL+"/strategy", map[string]any{"strategy": "sharded"})
-	if status != http.StatusOK || resp["strategy"] != "sharded" {
-		t.Fatalf("set strategy: status %d resp %v", status, resp)
-	}
-	status, resp = getJSON(t, ts.URL+"/strategy")
-	if status != http.StatusOK || resp["strategy"] != "sharded" {
-		t.Fatalf("get strategy: status %d resp %v", status, resp)
-	}
-	if status, _ := postJSON(t, ts.URL+"/strategy", map[string]any{"strategy": "nonsense"}); status != http.StatusBadRequest {
-		t.Errorf("bad strategy: status %d, want 400", status)
-	}
-	// A missing "strategy" field must not silently reset a live engine
-	// to auto.
-	if status, _ := postJSON(t, ts.URL+"/strategy", map[string]any{}); status != http.StatusBadRequest {
-		t.Errorf("empty strategy: status %d, want 400", status)
-	}
-}
-
-func TestRegistrySweepEvictsFinishedRecords(t *testing.T) {
-	world := ps.NewRWMWorld(2, 50, ps.SensorConfig{})
-	eng := ps.NewEngine(ps.NewAggregator(world))
-	defer eng.Stop()
-	s := newServer(eng, world, 0, ps.StrategyAuto) // zero retention: done records evict immediately
-
-	s.queries["old-done"] = &queryRecord{id: "old-done", done: true, doneAt: time.Now().Add(-time.Minute)}
-	s.queries["live"] = &queryRecord{id: "live"}
-	s.mu.Lock()
-	s.sweepLocked()
-	s.mu.Unlock()
-	if _, ok := s.queries["old-done"]; ok {
-		t.Error("finished record survived the sweep")
-	}
-	if _, ok := s.queries["live"]; !ok {
-		t.Error("live record was evicted")
 	}
 }

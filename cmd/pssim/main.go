@@ -1,6 +1,9 @@
 // Command pssim runs a single participatory-sensing simulation and prints
 // per-slot metrics plus a summary — handy for exploring one configuration
-// without the full figure sweep of psbench.
+// without the full figure sweep of psbench. It drives the public
+// Aggregator surface: every query goes through the unified QuerySpec
+// submission API (ps.PointSpec -> Aggregator.Submit), the same path the
+// streaming engine and the psserve daemon use.
 //
 // Usage:
 //
@@ -12,9 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/query"
+	ps "repro"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -34,35 +35,38 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := datasets.SensorConfig{Lifetime: *lifetime, RandomPSL: *privacy, LinearEnergy: *linear}
-	var world *datasets.World
+	cfg := ps.SensorConfig{Lifetime: *lifetime, RandomPSL: *privacy, LinearEnergy: *linear}
+	var world *ps.World
 	switch *dataset {
 	case "rwm":
-		world = datasets.NewRWM(*seed, 200, cfg)
+		world = ps.NewRWMWorld(*seed, 200, cfg)
 	case "rnc":
-		world = datasets.NewRNC(*seed, cfg)
+		world = ps.NewRNCWorld(*seed, cfg)
 	default:
 		fmt.Fprintf(os.Stderr, "pssim: unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
 
-	var solver core.PointSolver
+	var policy ps.Scheduling
 	switch *algorithm {
 	case "optimal":
-		solver = sim.ExactOptimal()
+		policy = ps.SchedulingOptimal
 	case "localsearch":
-		solver = core.LocalSearchPoint(core.DefaultLocalSearchEpsilon)
+		policy = ps.SchedulingLocalSearch
 	case "baseline":
-		solver = core.BaselinePoint()
+		policy = ps.SchedulingBaseline
 	case "egalitarian":
-		solver = core.EgalitarianPoint()
+		policy = ps.SchedulingEgalitarian
 	case "greedy":
-		solver = core.GreedyPoint()
+		policy = ps.SchedulingGreedy
 	default:
 		fmt.Fprintf(os.Stderr, "pssim: unknown algorithm %q\n", *algorithm)
 		os.Exit(2)
 	}
+	agg := ps.NewAggregator(world, ps.WithScheduling(policy))
 
+	// The same deterministic workload stream the figure sweeps use, fed
+	// through the spec-based submission surface.
 	wl := sim.PointWorkload{
 		QueriesPerSlot: *queries,
 		BudgetMean:     *budget,
@@ -78,19 +82,28 @@ func main() {
 
 	var utils, sats []float64
 	for t := 0; t < *slots; t++ {
-		offers := world.Fleet.Step()
 		qs := wl.Slot(t, wrnd)
-		res := solver(qs, offers)
-		world.Fleet.Commit(res.Selected)
-		utils = append(utils, res.Welfare())
+		for _, q := range qs {
+			if _, err := agg.Submit(ps.PointSpec{ID: q.ID, Loc: q.Loc, Budget: q.B}); err != nil {
+				fmt.Fprintf(os.Stderr, "pssim: submit %s: %v\n", q.ID, err)
+				os.Exit(1)
+			}
+		}
+		rep := agg.RunSlot()
+		utils = append(utils, rep.Welfare)
+		answered := 0
+		for _, o := range rep.Outcomes() {
+			if o.Answered {
+				answered++
+			}
+		}
 		sat := 0.0
 		if len(qs) > 0 {
-			sat = float64(len(res.Outcomes)) / float64(len(qs))
+			sat = float64(answered) / float64(len(qs))
 		}
 		sats = append(sats, sat)
 		fmt.Printf("%-6d %10d %10d %10d %10.1f %10.1f\n",
-			t, len(offers), len(res.Selected), len(res.Outcomes), res.TotalCost, res.Welfare())
-		_ = []*query.Point(qs)
+			rep.Slot, rep.Offers, rep.SensorsUsed, answered, rep.TotalCost, rep.Welfare)
 	}
 	fmt.Printf("\nsummary: avg utility/slot %.1f, satisfaction %.3f\n",
 		stats.Mean(utils), stats.Mean(sats))

@@ -4,18 +4,20 @@
 //
 // A participatory-sensing deployment is modeled as a World: a fleet of
 // mobile, priced, partially trusted sensors roaming a region. Applications
-// submit queries — point, spatial aggregate, trajectory, multi-sensor
-// point, location monitoring, region monitoring and event detection — to
-// an Aggregator, which once per time slot selects the sensors that
-// maximize social welfare (total query valuation minus total sensor cost),
-// shares sensors across queries, and splits each sensor's cost among the
-// queries it serves so that every answered query keeps positive utility.
+// describe what they want as query specs — PointSpec, MultiPointSpec,
+// AggregateSpec, TrajectorySpec, LocationMonitoringSpec,
+// RegionMonitoringSpec, EventDetectionSpec, RegionEventSpec — and submit
+// them to an Aggregator, which once per time slot selects the sensors
+// that maximize social welfare (total query valuation minus total sensor
+// cost), shares sensors across queries, and splits each sensor's cost
+// among the queries it serves so that every answered query keeps positive
+// utility.
 //
 // Quick start:
 //
 //	world := ps.NewRWMWorld(1, 200, ps.SensorConfig{})
 //	agg := ps.NewAggregator(world)
-//	agg.SubmitPoint("q1", ps.Pt(30, 30), 15)
+//	agg.Submit(ps.PointSpec{ID: "q1", Loc: ps.Pt(30, 30), Budget: 15})
 //	report := agg.RunSlot()
 //	fmt.Println(report.Welfare, report.Answered("q1"))
 //
@@ -34,9 +36,12 @@
 //
 //	eng := ps.NewEngine(ps.NewAggregator(world), ps.WithSlotInterval(time.Second))
 //	eng.Start()
-//	h, _ := eng.SubmitPoint("q1", ps.Pt(30, 30), 15)
+//	h, _ := eng.Submit(ps.PointSpec{ID: "q1", Loc: ps.Pt(30, 30), Budget: 15})
 //	res := <-h.Results()
 //	eng.Stop()
+//
+// Package wire defines the JSON wire format of that HTTP API, and
+// package psclient is the matching Go SDK.
 //
 // See DESIGN.md for the package inventory and the engine architecture
 // (ingest, event loop, slot clock, fan-out, parallel candidate

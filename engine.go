@@ -317,77 +317,112 @@ func (e *Engine) countRejected() {
 	e.mu.Unlock()
 }
 
+// Submit submits any query spec from any goroutine and returns its
+// subscription handle. The spec is validated and materialized on the
+// event-loop goroutine, so a continuous spec's start slot is bound to the
+// slot clock at execution time — slots ticking between enqueue and
+// execution shift the window instead of silently shortening it. A spec
+// rejected by validation (or a world precondition such as region
+// monitoring's GP model) closes the subscription immediately with the
+// error (see QueryHandle.Err); transports that want a synchronous verdict
+// call Spec.Validate first.
+func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
+	return e.submitSpec(spec, true)
+}
+
+// submitSpec is the shared spec ingest. validate selects between the
+// strict Submit path and the legacy wrappers' historical lenient
+// semantics (materialize without validation, mirroring the deprecated
+// Aggregator.Submit* methods).
+func (e *Engine) submitSpec(spec Spec, validate bool) (*QueryHandle, error) {
+	if isNilSpec(spec) {
+		return nil, errNilSpec
+	}
+	return e.submit(spec.QueryID(), func() (int, error) {
+		var sq SubmittedQuery
+		var err error
+		if validate {
+			sq, err = e.agg.Submit(spec)
+		} else {
+			sq, err = spec.materialize(e.agg)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return sq.End, nil
+	})
+}
+
+// The per-kind Submit* methods below are thin wrappers over the spec
+// ingest. Like their Aggregator counterparts they keep the historical
+// lenient semantics (no validation) for one release.
+
 // SubmitPoint submits a single-sensor point query; its one result arrives
 // after the next slot.
+//
+// Deprecated: use Submit with a PointSpec.
 func (e *Engine) SubmitPoint(id string, loc Point, budget float64) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		e.agg.SubmitPoint(id, loc, budget)
-		return e.runner.NextSlot(), nil
-	})
+	return e.submitSpec(PointSpec{ID: id, Loc: loc, Budget: budget}, false)
 }
 
 // SubmitMultiPoint submits a multiple-sensor point query asking for k
 // redundant readings.
+//
+// Deprecated: use Submit with a MultiPointSpec.
 func (e *Engine) SubmitMultiPoint(id string, loc Point, budget float64, k int) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		e.agg.SubmitMultiPoint(id, loc, budget, k)
-		return e.runner.NextSlot(), nil
-	})
+	return e.submitSpec(MultiPointSpec{ID: id, Loc: loc, Budget: budget, K: k}, false)
 }
 
 // SubmitAggregate submits a spatial aggregate query over a region.
+//
+// Deprecated: use Submit with an AggregateSpec.
 func (e *Engine) SubmitAggregate(id string, region Rect, budget float64) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		e.agg.SubmitAggregate(id, region, budget)
-		return e.runner.NextSlot(), nil
-	})
+	return e.submitSpec(AggregateSpec{ID: id, Region: region, Budget: budget}, false)
 }
 
 // SubmitTrajectory submits a query over a trajectory.
+//
+// Deprecated: use Submit with a TrajectorySpec.
 func (e *Engine) SubmitTrajectory(id string, tr Trajectory, budget float64) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		e.agg.SubmitTrajectory(id, tr, budget)
-		return e.runner.NextSlot(), nil
-	})
+	return e.submitSpec(TrajectorySpec{ID: id, Path: tr, Budget: budget}, false)
 }
 
 // SubmitLocationMonitoring submits a continuous location-monitoring query
 // delivering one result per active slot for `duration` slots.
+//
+// Deprecated: use Submit with a LocationMonitoringSpec.
 func (e *Engine) SubmitLocationMonitoring(id string, loc Point, duration int, budget float64, samples int) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		q := e.agg.SubmitLocationMonitoring(id, loc, duration, budget, samples)
-		return q.End, nil
-	})
+	return e.submitSpec(LocationMonitoringSpec{ID: id, Loc: loc, Duration: duration, Budget: budget, Samples: samples}, false)
 }
 
 // SubmitRegionMonitoring submits a continuous region-monitoring query; it
 // requires a world with a GP phenomenon model. A model-less world closes
-// the subscription immediately with the aggregator's error (see Err).
+// the subscription immediately with the validation error (see Err).
+//
+// Deprecated: use Submit with a RegionMonitoringSpec.
 func (e *Engine) SubmitRegionMonitoring(id string, region Rect, duration int, budget float64) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		q, err := e.agg.SubmitRegionMonitoring(id, region, duration, budget)
-		if err != nil {
-			return 0, err
-		}
-		return q.End, nil
-	})
+	return e.submitSpec(RegionMonitoringSpec{ID: id, Region: region, Duration: duration, Budget: budget}, false)
 }
 
 // SubmitEventDetection submits a continuous event-detection query; each
 // result's Events field carries the slot's detection verdict.
+//
+// Deprecated: use Submit with an EventDetectionSpec.
 func (e *Engine) SubmitEventDetection(id string, loc Point, duration int, threshold, confidence, budgetPerSlot float64) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		q := e.agg.SubmitEventDetection(id, loc, duration, threshold, confidence, budgetPerSlot)
-		return q.End, nil
-	})
+	return e.submitSpec(EventDetectionSpec{
+		ID: id, Loc: loc, Duration: duration,
+		Threshold: threshold, Confidence: confidence, BudgetPerSlot: budgetPerSlot,
+	}, false)
 }
 
 // SubmitRegionEvent submits a continuous region event-detection query.
+//
+// Deprecated: use Submit with a RegionEventSpec.
 func (e *Engine) SubmitRegionEvent(id string, region Rect, duration int, threshold, confidence, budgetPerSlot float64) (*QueryHandle, error) {
-	return e.submit(id, func() (int, error) {
-		q := e.agg.SubmitRegionEvent(id, region, duration, threshold, confidence, budgetPerSlot)
-		return q.End, nil
-	})
+	return e.submitSpec(RegionEventSpec{
+		ID: id, Region: region, Duration: duration,
+		Threshold: threshold, Confidence: confidence, BudgetPerSlot: budgetPerSlot,
+	}, false)
 }
 
 // onSlot fans a slot report out to the live subscriptions and updates the

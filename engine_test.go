@@ -3,6 +3,7 @@ package ps
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -386,6 +387,80 @@ func TestEngineSelectionStrategyAndStats(t *testing.T) {
 	}
 	if m2.ValuationCalls <= m.ValuationCalls {
 		t.Errorf("ValuationCalls did not accumulate: %d -> %d", m.ValuationCalls, m2.ValuationCalls)
+	}
+}
+
+// TestEngineContinuousWindowBindsAtMaterialization: a continuous spec
+// carries a relative duration, and its start slot is bound only when the
+// loop goroutine materializes it — so a window submitted after the clock
+// has advanced still delivers its full duration (no start-slot skew).
+func TestEngineContinuousWindowBindsAtMaterialization(t *testing.T) {
+	e := newTestEngine(t)
+
+	// Advance the clock before submitting: a naive submit-time binding
+	// would anchor the window at slot 1 and shorten it.
+	if err := e.RunSlots(3); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	const duration = 4
+	h, err := e.Submit(LocationMonitoringSpec{ID: "skew-lm", Loc: Pt(30, 30), Duration: duration, Budget: 120, Samples: 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := e.RunSlots(duration + 2); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	rs := collect(t, h)
+	if len(rs) != duration {
+		t.Fatalf("got %d results, want the full %d-slot window", len(rs), duration)
+	}
+	if rs[0].Slot != 3 {
+		t.Errorf("window started at slot %d, want 3 (the slot after materialization)", rs[0].Slot)
+	}
+	if !rs[duration-1].Final || rs[duration-1].Slot != 3+duration-1 {
+		t.Errorf("last result = %+v, want Final at slot %d", rs[duration-1], 3+duration-1)
+	}
+	if h.Err() != nil {
+		t.Errorf("err = %v, want clean expiry", h.Err())
+	}
+}
+
+// TestEngineSubmitSpecValidation: a spec rejected by validation closes
+// the subscription with the validation error instead of going live.
+func TestEngineSubmitSpecValidation(t *testing.T) {
+	e := newTestEngine(t)
+	h, err := e.Submit(PointSpec{ID: "bad", Loc: Pt(30, 30), Budget: -4})
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if rs := collect(t, h); len(rs) != 0 {
+		t.Fatalf("rejected spec produced %d results", len(rs))
+	}
+	if h.Err() == nil || !strings.Contains(h.Err().Error(), "negative budget") {
+		t.Fatalf("err = %v, want a validation error", h.Err())
+	}
+	if _, err := e.Submit(nil); err == nil {
+		t.Fatal("Submit(nil) succeeded")
+	}
+	if m := e.Metrics(); m.QueriesRejected == 0 {
+		t.Error("rejected submission not counted")
+	}
+
+	// The deprecated wrappers keep their historical lenient semantics:
+	// inputs the strict Submit path rejects (negative k is clamped by the
+	// query constructor) still go live and deliver a result.
+	lh, err := e.SubmitMultiPoint("lenient-mp", Pt(30, 30), 10, -1)
+	if err != nil {
+		t.Fatalf("legacy submit: %v", err)
+	}
+	if err := e.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	if rs := collect(t, lh); len(rs) != 1 || lh.Err() != nil {
+		t.Fatalf("legacy wrapper got %d results, err %v; want 1 result, nil", len(rs), lh.Err())
 	}
 }
 

@@ -29,15 +29,26 @@ func runCity(baseline bool) (welfare float64, satisfaction float64, school *ps.L
 	world := ps.NewRNCWorld(2024, ps.SensorConfig{})
 	agg := ps.NewAggregator(world, opts...)
 
-	// The school gate is watched for the whole run.
-	school = agg.SubmitLocationMonitoring("school-gate", ps.Pt(120, 150), slots, 300, 6)
+	// The school gate is watched for the whole run; the submitted spec's
+	// Underlying query exposes the monitoring state for the report below.
+	sq, err := agg.Submit(ps.LocationMonitoringSpec{
+		ID: "school-gate", Loc: ps.Pt(120, 150), Duration: slots, Budget: 300, Samples: 6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	school = sq.Underlying().(*ps.LocationMonitoringQuery)
 
 	for slot := 0; slot < slots; slot++ {
 		// Citizens: 150 spot checks, clustered downtown.
 		for i := 0; i < 150; i++ {
 			x := 75 + float64((i*13+slot*7)%90)
 			y := 105 + float64((i*29+slot*17)%90)
-			agg.SubmitPoint(fmt.Sprintf("spot-%d-%d", slot, i), ps.Pt(x, y), 12)
+			if _, err := agg.Submit(ps.PointSpec{
+				ID: fmt.Sprintf("spot-%d-%d", slot, i), Loc: ps.Pt(x, y), Budget: 12,
+			}); err != nil {
+				panic(err)
+			}
 		}
 		// Agency: four district averages.
 		districts := []ps.Rect{
@@ -47,7 +58,11 @@ func runCity(baseline bool) (welfare float64, satisfaction float64, school *ps.L
 			ps.NewRect(120, 150, 165, 195),
 		}
 		for d, r := range districts {
-			agg.SubmitAggregate(fmt.Sprintf("district-%d-%d", slot, d), r, r.Area()/15*5)
+			if _, err := agg.Submit(ps.AggregateSpec{
+				ID: fmt.Sprintf("district-%d-%d", slot, d), Region: r, Budget: r.Area() / 15 * 5,
+			}); err != nil {
+				panic(err)
+			}
 		}
 		rep := agg.RunSlot()
 		welfare += rep.Welfare

@@ -30,7 +30,13 @@ func main() {
 	var welfare float64
 	for slot := 0; slot < slots; slot++ {
 		for name, path := range commutes {
-			agg.SubmitTrajectory(fmt.Sprintf("%s-%d", name, slot), path, 150)
+			if _, err := agg.Submit(ps.TrajectorySpec{
+				ID:     fmt.Sprintf("%s-%d", name, slot),
+				Path:   path,
+				Budget: 150,
+			}); err != nil {
+				panic(err)
+			}
 		}
 		rep := agg.RunSlot()
 		welfare += rep.Welfare

@@ -18,20 +18,35 @@ func main() {
 	agg := ps.NewAggregator(world)
 
 	const slots = 25
-	floor, err := agg.SubmitRegionMonitoring("floor-model", ps.NewRect(1, 1, 19, 14), slots, 300)
+	floorSQ, err := agg.Submit(ps.RegionMonitoringSpec{
+		ID: "floor-model", Region: ps.NewRect(1, 1, 19, 14), Duration: slots, Budget: 300,
+	})
 	if err != nil {
 		panic(err)
 	}
+	floor := floorSQ.Underlying().(*ps.RegionMonitoringQuery)
 	// Calibrate the alarm just below the corner's current reading so the
 	// demo shows the detection path; the confidence requirement is set to
 	// what the sparse lab fleet (≈1 sensor in range) can realistically
 	// certify.
 	corner := ps.Pt(16, 12)
 	threshold := world.ReadingAt(corner, 0) - 0.5
-	alarm := agg.SubmitEventDetection("hot-corner", corner, slots, threshold, 0.5, 40)
+	alarmSQ, err := agg.Submit(ps.EventDetectionSpec{
+		ID: "hot-corner", Loc: corner, Duration: slots,
+		Threshold: threshold, Confidence: 0.5, BudgetPerSlot: 40,
+	})
+	if err != nil {
+		panic(err)
+	}
+	alarm := alarmSQ.Underlying().(*ps.EventDetectionQuery)
 	// Q4 extension: watch the whole east wing for its average running hot.
 	wing := ps.NewRect(10, 1, 19, 14)
-	agg.SubmitRegionEvent("east-wing-avg", wing, slots, 19.5, 0.5, 120)
+	if _, err := agg.Submit(ps.RegionEventSpec{
+		ID: "east-wing-avg", Region: wing, Duration: slots,
+		Threshold: 19.5, Confidence: 0.5, BudgetPerSlot: 120,
+	}); err != nil {
+		panic(err)
+	}
 
 	detections := 0
 	var welfare float64

@@ -1,6 +1,6 @@
-// Quickstart: build a world, submit point queries, run a few slots, and
-// compare the three scheduling policies of the paper on identical
-// workloads.
+// Quickstart: build a world, submit point-query specs through the
+// unified submission API, run a few slots, and compare the three
+// scheduling policies of the paper on identical workloads.
 package main
 
 import (
@@ -17,13 +17,21 @@ func main() {
 	world := ps.NewRWMWorld(42, 200, ps.SensorConfig{})
 	agg := ps.NewAggregator(world)
 
-	// A citizen asks for the air quality at three street corners.
-	agg.SubmitPoint("corner-a", ps.Pt(30, 30), 20)
-	agg.SubmitPoint("corner-b", ps.Pt(45, 25), 20)
-	agg.SubmitPoint("corner-c", ps.Pt(25, 50), 20)
+	// A citizen asks for the air quality at three street corners. Every
+	// query kind is submitted the same way: a spec into Submit.
+	for _, spec := range []ps.PointSpec{
+		{ID: "corner-a", Loc: ps.Pt(30, 30), Budget: 20},
+		{ID: "corner-b", Loc: ps.Pt(45, 25), Budget: 20},
+		{ID: "corner-c", Loc: ps.Pt(25, 50), Budget: 20},
+	} {
+		if _, err := agg.Submit(spec); err != nil {
+			panic(err)
+		}
+	}
 	report := agg.RunSlot()
 
-	fmt.Printf("slot %d: welfare %.1f, %d sensors used\n", report.Slot, report.Welfare, report.SensorsUsed)
+	fmt.Printf("slot %d: welfare %.1f, %d sensors used (of %d offers)\n",
+		report.Slot, report.Welfare, report.SensorsUsed, report.Offers)
 	for _, id := range []string{"corner-a", "corner-b", "corner-c"} {
 		if report.Answered(id) {
 			fmt.Printf("  %s answered: value %.2f, paid %.2f (utility %.2f)\n",
@@ -47,13 +55,16 @@ func main() {
 			for i := 0; i < 200; i++ {
 				x := 15 + float64((i*37+slot*11)%50)
 				y := 15 + float64((i*53+slot*29)%50)
-				a.SubmitPoint(fmt.Sprintf("q%d", i), ps.Pt(x, y), 15)
+				if _, err := a.Submit(ps.PointSpec{ID: fmt.Sprintf("q%d", i), Loc: ps.Pt(x, y), Budget: 15}); err != nil {
+					panic(err)
+				}
 			}
 			rep := a.RunSlot()
 			welfare += rep.Welfare
-			for i := 0; i < 200; i++ {
-				total++
-				if rep.Answered(fmt.Sprintf("q%d", i)) {
+			total += 200
+			// Outcomes enumerates the slot's per-query results in bulk.
+			for _, o := range rep.Outcomes() {
+				if o.Answered {
 					answered++
 				}
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/query"
@@ -16,11 +17,20 @@ type MultiOutcome struct {
 	Value    float64         // v_q(S_q)
 }
 
-// TotalPayment sums the query's payments.
+// TotalPayment sums the query's payments in ascending sensor-ID order.
+// The fixed order matters: map iteration order perturbs float rounding,
+// and this sum feeds SlotReport payments that must be bit-identical
+// across reruns of the same workload (the golden equivalence tests rely
+// on it).
 func (o *MultiOutcome) TotalPayment() float64 {
+	ids := make([]int, 0, len(o.Payments))
+	for id := range o.Payments {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	var sum float64
-	for _, p := range o.Payments {
-		sum += p
+	for _, id := range ids {
+		sum += o.Payments[id]
 	}
 	return sum
 }

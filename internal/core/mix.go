@@ -203,9 +203,10 @@ func RunMixSlotWith(t int, qs MixQueries, offers []Offer, cfg GreedyConfig) *Mix
 		co := res.Continuous[q.ID]
 		if out != nil && out.Value > 0 {
 			theta := bestThetaFor(pid, out, lmOwners)
-			q.ApplyResults(t, true, out.TotalPayment(), theta)
+			paid := out.TotalPayment()
+			q.ApplyResults(t, true, paid, theta)
 			co.Satisfied = true
-			co.Payment += out.TotalPayment()
+			co.Payment += paid
 		} else {
 			q.ApplyResults(t, false, 0, 0)
 		}
@@ -224,9 +225,10 @@ func RunMixSlotWith(t int, qs MixQueries, offers []Offer, cfg GreedyConfig) *Mix
 				continue
 			}
 			s := out.Sensors[0]
-			plan.q.Record(s.Pos, plan.q.Theta(s), out.TotalPayment())
+			paid := out.TotalPayment()
+			plan.q.Record(s.Pos, plan.q.Theta(s), paid)
 			recorded[plan.q][s.ID] = true
-			spentActual[plan] += out.TotalPayment()
+			spentActual[plan] += paid
 		}
 		co := res.Continuous[plan.q.ID]
 		co.Satisfied = co.Satisfied || spentActual[plan] > 0

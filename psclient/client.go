@@ -1,0 +1,293 @@
+// Package psclient is the Go SDK for the psserve HTTP API (package
+// serve): it submits query specs, polls per-slot results, cancels live
+// queries, lists the server's registry and reads engine metrics, speaking
+// the v1 wire envelope of package wire.
+//
+// Every call is context-aware; submissions transparently retry on HTTP
+// 429 (the server's ingest-queue backpressure signal) with exponential
+// backoff.
+//
+//	c, err := psclient.Dial("http://localhost:8080")
+//	q, err := c.Submit(ctx, ps.PointSpec{ID: "p1", Loc: ps.Pt(30, 30), Budget: 15})
+//	st, err := q.PollUntilFinal(ctx, 100*time.Millisecond)
+package psclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	ps "repro"
+	"repro/wire"
+)
+
+// APIError is a non-2xx response from the server, carrying the decoded
+// {"error": ...} body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("psclient: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one psserve daemon.
+type Client struct {
+	base    *url.URL
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithRetry configures the 429 retry policy: up to retries re-attempts
+// spaced by an exponentially growing backoff starting at base. The
+// default is 4 retries from 50ms. retries 0 disables retrying.
+func WithRetry(retries int, base time.Duration) Option {
+	return func(c *Client) {
+		if retries >= 0 {
+			c.retries = retries
+		}
+		if base > 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// Dial builds a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). No connection is made until the first call.
+func Dial(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(strings.TrimRight(baseURL, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("psclient: bad base URL %q: %v", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("psclient: base URL %q needs an http(s) scheme", baseURL)
+	}
+	c := &Client{base: u, hc: http.DefaultClient, retries: 4, backoff: 50 * time.Millisecond}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). POSTs retry on 429 per the client's retry policy;
+// body must then be re-sendable, which is why callers pass raw bytes.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base.String()+path, rd)
+		if err != nil {
+			return fmt.Errorf("psclient: build request: %v", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("psclient: %s %s: %w", method, path, err)
+		}
+		apiErr := checkStatus(resp)
+		if apiErr == nil {
+			err := decodeBody(resp, out)
+			resp.Body.Close()
+			return err
+		}
+		resp.Body.Close()
+		if apiErr.StatusCode != http.StatusTooManyRequests || attempt >= c.retries {
+			return apiErr
+		}
+		// Backpressure: wait and retry.
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// checkStatus converts a non-2xx response into an *APIError.
+func checkStatus(resp *http.Response) *APIError {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	msg := resp.Status
+	var eb wire.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+func decodeBody(resp *http.Response, out any) error {
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("psclient: decode response: %v", err)
+	}
+	return nil
+}
+
+// Query is a handle on a submitted query.
+type Query struct {
+	// ID is the server-side query identifier (server-assigned when the
+	// spec's ID was empty).
+	ID string
+	// Kind is the submitted spec's kind.
+	Kind ps.QueryKind
+
+	c *Client
+}
+
+// Submit validates and submits a query spec, returning a handle carrying
+// the (possibly server-assigned) query ID. 429 responses are retried per
+// the client's retry policy.
+func (c *Client) Submit(ctx context.Context, spec ps.Spec) (*Query, error) {
+	if spec == nil {
+		return nil, errors.New("psclient: nil query spec")
+	}
+	body, err := wire.MarshalSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	var ack wire.SubmitAck
+	if err := c.do(ctx, http.MethodPost, "/query", body, &ack); err != nil {
+		return nil, err
+	}
+	return &Query{ID: ack.ID, Kind: spec.Kind(), c: c}, nil
+}
+
+// Get fetches a query's status and accumulated per-slot results.
+func (c *Client) Get(ctx context.Context, id string) (*wire.QueryStatus, error) {
+	var st wire.QueryStatus
+	if err := c.do(ctx, http.MethodGet, "/query/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel withdraws a pending or continuous query.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/query/"+url.PathEscape(id), nil, nil)
+}
+
+// PollUntilFinal polls a query's status every interval until the server
+// marks it done (final result delivered, canceled, or rejected), the
+// context expires, or a request fails. interval <= 0 defaults to 100ms.
+func (c *Client) PollUntilFinal(ctx context.Context, id string, interval time.Duration) (*wire.QueryStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Done {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Queries lists one page of the server's query registry, ordered by ID.
+// limit <= 0 uses the server default.
+func (c *Client) Queries(ctx context.Context, offset, limit int) (*wire.QueryList, error) {
+	path := fmt.Sprintf("/queries?offset=%d", offset)
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	var list wire.QueryList
+	if err := c.do(ctx, http.MethodGet, path, nil, &list); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// Metrics fetches the engine-wide metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*wire.Metrics, error) {
+	var m wire.Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Strategy returns the server's configured candidate-evaluation strategy.
+func (c *Client) Strategy(ctx context.Context) (string, error) {
+	var b wire.StrategyBody
+	if err := c.do(ctx, http.MethodGet, "/strategy", nil, &b); err != nil {
+		return "", err
+	}
+	return b.Strategy, nil
+}
+
+// SetStrategy switches the server's candidate-evaluation strategy at
+// runtime ("auto", "serial", "sharded", "lazy", "lazy-sharded").
+// Selections are bit-identical across strategies, so the switch is safe
+// mid-stream.
+func (c *Client) SetStrategy(ctx context.Context, name string) error {
+	body, err := json.Marshal(wire.StrategyBody{Strategy: name})
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, "/strategy", body, nil)
+}
+
+// Healthz reports the server's liveness snapshot.
+func (c *Client) Healthz(ctx context.Context) (*wire.Healthz, error) {
+	var h wire.Healthz
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Status fetches the query's current status (see Client.Get).
+func (q *Query) Status(ctx context.Context) (*wire.QueryStatus, error) {
+	return q.c.Get(ctx, q.ID)
+}
+
+// Cancel withdraws the query (see Client.Cancel).
+func (q *Query) Cancel(ctx context.Context) error {
+	return q.c.Cancel(ctx, q.ID)
+}
+
+// PollUntilFinal polls until the query finishes (see
+// Client.PollUntilFinal).
+func (q *Query) PollUntilFinal(ctx context.Context, interval time.Duration) (*wire.QueryStatus, error) {
+	return q.c.PollUntilFinal(ctx, q.ID, interval)
+}

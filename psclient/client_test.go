@@ -1,0 +1,247 @@
+package psclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	ps "repro"
+	"repro/serve"
+)
+
+// newLiveStack runs the real serve handler over a real-clock engine, so
+// the e2e tests exercise exactly what a remote psclient user hits.
+func newLiveStack(t *testing.T) *Client {
+	t.Helper()
+	world := ps.NewRWMWorld(1, 200, ps.SensorConfig{})
+	eng := ps.NewEngine(ps.NewAggregator(world), ps.WithSlotInterval(2*time.Millisecond))
+	eng.Start()
+	ts := httptest.NewServer(serve.New(eng, world, serve.Options{Strategy: ps.StrategyAuto}).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Stop()
+	})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return c
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestClientSubmitPollCancelEndToEnd drives four one-shot kinds to their
+// final result and cancels two continuous kinds mid-flight, all through
+// the real HTTP handler.
+func TestClientSubmitPollCancelEndToEnd(t *testing.T) {
+	c := newLiveStack(t)
+	ctx := testCtx(t)
+
+	oneShots := []ps.Spec{
+		ps.PointSpec{ID: "e2e-pt", Loc: ps.Pt(30, 30), Budget: 20},
+		ps.MultiPointSpec{ID: "e2e-mp", Loc: ps.Pt(32, 28), Budget: 80, K: 3},
+		ps.AggregateSpec{ID: "e2e-agg", Region: ps.NewRect(20, 20, 45, 45), Budget: 300},
+		ps.TrajectorySpec{
+			ID:     "e2e-tr",
+			Path:   ps.Trajectory{Waypoints: []ps.Point{ps.Pt(20, 20), ps.Pt(40, 40)}},
+			Budget: 150,
+		},
+	}
+	for _, spec := range oneShots {
+		q, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %s: %v", spec.Kind(), err)
+		}
+		if q.ID != spec.QueryID() {
+			t.Errorf("%s: server echoed id %q, want %q", spec.Kind(), q.ID, spec.QueryID())
+		}
+		st, err := q.PollUntilFinal(ctx, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("poll %s: %v", spec.Kind(), err)
+		}
+		if !st.Done || st.Error != "" {
+			t.Fatalf("%s: status = %+v, want clean done", spec.Kind(), st)
+		}
+		if len(st.Results) != 1 || !st.Results[0].Final {
+			t.Fatalf("%s: results = %+v, want one final result", spec.Kind(), st.Results)
+		}
+		if st.Type != spec.Kind().String() {
+			t.Errorf("%s: status type = %q", spec.Kind(), st.Type)
+		}
+	}
+
+	// Continuous kinds: submit with long windows, watch results
+	// accumulate, then cancel and confirm the server reports it.
+	continuous := []ps.Spec{
+		ps.LocationMonitoringSpec{ID: "e2e-lm", Loc: ps.Pt(30, 30), Duration: 10_000, Budget: 500, Samples: 10},
+		ps.EventDetectionSpec{ID: "e2e-ev", Loc: ps.Pt(30, 30), Duration: 10_000, Threshold: -1e9, Confidence: 0.1, BudgetPerSlot: 30},
+	}
+	var handles []*Query
+	for _, spec := range continuous {
+		q, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %s: %v", spec.Kind(), err)
+		}
+		handles = append(handles, q)
+	}
+	// Wait until each has produced at least one result.
+	for i, q := range handles {
+		for {
+			st, err := q.Status(ctx)
+			if err != nil {
+				t.Fatalf("status %s: %v", continuous[i].Kind(), err)
+			}
+			if len(st.Results) > 0 {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := q.Cancel(ctx); err != nil {
+			t.Fatalf("cancel %s: %v", continuous[i].Kind(), err)
+		}
+		st, err := q.PollUntilFinal(ctx, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("poll canceled %s: %v", continuous[i].Kind(), err)
+		}
+		if st.Error != ps.ErrCanceled.Error() {
+			t.Errorf("%s: error = %q, want %q", continuous[i].Kind(), st.Error, ps.ErrCanceled)
+		}
+	}
+
+	// The registry lists everything we touched; metrics saw the traffic.
+	list, err := c.Queries(ctx, 0, 100)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	if list.Total != len(oneShots)+len(continuous) {
+		t.Errorf("registry total = %d, want %d", list.Total, len(oneShots)+len(continuous))
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m.QueriesSubmitted != int64(len(oneShots)+len(continuous)) {
+		t.Errorf("QueriesSubmitted = %d, want %d", m.QueriesSubmitted, len(oneShots)+len(continuous))
+	}
+	if m.QueriesCanceled != int64(len(continuous)) {
+		t.Errorf("QueriesCanceled = %d, want %d", m.QueriesCanceled, len(continuous))
+	}
+
+	// Strategy round trip.
+	if err := c.SetStrategy(ctx, "lazy"); err != nil {
+		t.Fatalf("SetStrategy: %v", err)
+	}
+	if s, err := c.Strategy(ctx); err != nil || s != "lazy" {
+		t.Fatalf("Strategy = %q, %v; want lazy", s, err)
+	}
+	if err := c.SetStrategy(ctx, "nonsense"); err == nil {
+		t.Error("SetStrategy(nonsense) succeeded")
+	}
+	h, err := c.Healthz(ctx)
+	if err != nil || !h.OK {
+		t.Fatalf("Healthz = %+v, %v", h, err)
+	}
+}
+
+// TestClientServerAssignedID: an empty spec ID is assigned by the server
+// and carried back on the handle.
+func TestClientServerAssignedID(t *testing.T) {
+	c := newLiveStack(t)
+	ctx := testCtx(t)
+	q, err := c.Submit(ctx, ps.PointSpec{Loc: ps.Pt(30, 30), Budget: 15})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if q.ID == "" {
+		t.Fatal("server did not assign an ID")
+	}
+	if _, err := q.PollUntilFinal(ctx, 5*time.Millisecond); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+}
+
+// TestClientValidationErrors: the server's synchronous 400s surface as
+// *APIError with the validation message.
+func TestClientValidationErrors(t *testing.T) {
+	c := newLiveStack(t)
+	ctx := testCtx(t)
+
+	_, err := c.Submit(ctx, ps.PointSpec{ID: "bad", Loc: ps.Pt(30, 30), Budget: -1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative budget: err = %v, want 400 APIError", err)
+	}
+	_, err = c.Submit(ctx, ps.RegionMonitoringSpec{ID: "rm", Region: ps.NewRect(20, 20, 40, 40), Duration: 5, Budget: 100})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("regmon without GP: err = %v, want 400 APIError", err)
+	}
+	if _, err := c.Get(ctx, "absent"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent query: err = %v, want 404 APIError", err)
+	}
+}
+
+// TestClientRetriesOn429: submissions retry through the server's
+// backpressure responses and succeed once the queue frees up.
+func TestClientRetriesOn429(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"engine: ingest queue full"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"p1","status":"accepted"}`))
+	}))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	q, err := c.Submit(context.Background(), ps.PointSpec{ID: "p1", Loc: ps.Pt(1, 1), Budget: 5})
+	if err != nil {
+		t.Fatalf("Submit through 429s: %v", err)
+	}
+	if q.ID != "p1" || attempts != 3 {
+		t.Errorf("q.ID = %q after %d attempts, want p1 after 3", q.ID, attempts)
+	}
+
+	// With retries disabled the 429 surfaces immediately.
+	attempts = 0
+	c2, _ := Dial(ts.URL, WithRetry(0, time.Millisecond))
+	_, err = c2.Submit(context.Background(), ps.PointSpec{ID: "p1", Loc: ps.Pt(1, 1), Budget: 5})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests || attempts != 1 {
+		t.Fatalf("no-retry submit: err = %v after %d attempts, want one 429", err, attempts)
+	}
+}
+
+// TestDialRejectsBadURLs keeps configuration mistakes synchronous.
+func TestDialRejectsBadURLs(t *testing.T) {
+	if _, err := Dial("localhost:8080"); err == nil {
+		t.Error("Dial without scheme succeeded")
+	}
+	if _, err := Dial("ftp://host"); err == nil {
+		t.Error("Dial with ftp scheme succeeded")
+	}
+	for _, raw := range []string{"http://h:8080/", "http://h:8080//"} {
+		c, err := Dial(raw)
+		if err != nil {
+			t.Errorf("Dial(%q): %v", raw, err)
+			continue
+		}
+		if got := c.base.String(); got != "http://h:8080" {
+			t.Errorf("Dial(%q) base = %q, want trailing slashes stripped", raw, got)
+		}
+	}
+}

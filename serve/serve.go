@@ -1,0 +1,432 @@
+// Package serve implements the psserve HTTP API over a streaming
+// ps.Engine: query submission and polling, cancellation, registry
+// listing, engine metrics and runtime strategy switching. The cmd/psserve
+// daemon is a thin flag-parsing wrapper around it; tests and the psclient
+// SDK run the same handler behind net/http/httptest.
+//
+// Endpoints:
+//
+//	POST   /query        submit a query (legacy or v1-envelope JSON body,
+//	                     see package wire)
+//	GET    /query/{id}   status + accumulated per-slot results
+//	DELETE /query/{id}   cancel a pending or continuous query
+//	GET    /queries      paginated registry listing (?offset=&limit=)
+//	GET    /metrics      engine-wide metrics snapshot (incl. valuation-
+//	                     call and lazy-heap counters of the greedy core)
+//	GET    /strategy     current candidate-evaluation strategy
+//	POST   /strategy     switch it at runtime ({"strategy":"lazy"})
+//	GET    /healthz      liveness + current slot
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ps "repro"
+	"repro/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Retain is how long finished query records stay pollable; zero or
+	// negative means the 10-minute default. Set NoRetention to disable
+	// retention entirely.
+	Retain time.Duration
+	// NoRetention makes finished records evict at the next sweep instead
+	// of being retained for polling.
+	NoRetention bool
+	// Strategy is the engine's configured selection strategy, mirrored
+	// for display by /metrics and /strategy.
+	Strategy ps.Strategy
+}
+
+// Server owns the HTTP-side query registry. Each accepted query gets a
+// consumer goroutine moving results from its subscription into the
+// registry, so slow or absent HTTP pollers never block the slot clock.
+// Finished records stay pollable for the retention window, then are
+// evicted by an amortized sweep on the submit path — the registry stays
+// bounded on a long-lived daemon.
+type Server struct {
+	eng    *ps.Engine
+	world  *ps.World
+	retain time.Duration
+	autoID atomic.Int64
+	// stratMu serializes POST /strategy so the engine switch and the
+	// display mirror below cannot interleave across two requests.
+	stratMu sync.Mutex
+	// strategy mirrors the engine's configured selection strategy for
+	// display; writes go through POST /strategy.
+	strategy atomic.Int32
+
+	mu      sync.Mutex
+	queries map[string]*queryRecord
+	submits int
+}
+
+// sweepEvery is how many submissions pass between eviction sweeps.
+const sweepEvery = 256
+
+// maxResultsPerQuery caps the per-record result history of long-lived
+// continuous queries; older entries are discarded and counted.
+const maxResultsPerQuery = 1024
+
+// defaultListLimit and maxListLimit bound GET /queries pages.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// New builds a Server over a started engine and its world.
+func New(eng *ps.Engine, world *ps.World, opts Options) *Server {
+	retain := opts.Retain
+	if retain <= 0 {
+		retain = 10 * time.Minute
+	}
+	if opts.NoRetention {
+		retain = 0
+	}
+	s := &Server{eng: eng, world: world, retain: retain, queries: make(map[string]*queryRecord)}
+	s.strategy.Store(int32(opts.Strategy))
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleSubmit)
+	mux.HandleFunc("GET /query/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
+	mux.HandleFunc("GET /queries", s.handleList)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /strategy", s.handleGetStrategy)
+	mux.HandleFunc("POST /strategy", s.handleSetStrategy)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// sweepLocked evicts finished records past the retention window. Caller
+// holds s.mu.
+func (s *Server) sweepLocked() {
+	cutoff := time.Now().Add(-s.retain)
+	for id, rec := range s.queries {
+		rec.mu.Lock()
+		expired := rec.done && rec.doneAt.Before(cutoff)
+		rec.mu.Unlock()
+		if expired {
+			delete(s.queries, id)
+		}
+	}
+}
+
+type queryRecord struct {
+	id  string
+	typ string
+
+	mu        sync.Mutex
+	results   []wire.Result
+	truncated int // results discarded beyond maxResultsPerQuery
+	done      bool
+	doneAt    time.Time
+	errMsg    string
+
+	handle *ps.QueryHandle
+}
+
+func (r *queryRecord) isDone() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// nextAutoID returns the next server-assigned query ID, skipping every
+// ID with an existing registry record: a live client-chosen one would
+// 409 a request that never picked an ID, and a finished-but-retained one
+// would be silently clobbered mid-retention. (A client racing to claim
+// the returned ID before the reservation happens can still conflict; the
+// counter only ever moves forward, so a retry gets a fresh ID.)
+func (s *Server) nextAutoID() string {
+	for {
+		id := fmt.Sprintf("q%d", s.autoID.Add(1))
+		s.mu.Lock()
+		_, taken := s.queries[id]
+		s.mu.Unlock()
+		if !taken {
+			return id
+		}
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var env wire.Envelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if env.ID == "" {
+		env.ID = s.nextAutoID()
+	}
+	spec, err := env.Spec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate up front so the client gets a synchronous 400 instead of a
+	// 202 whose subscription can never produce results. The world's
+	// static configuration (GP model, bounds) is immutable, so reading it
+	// off the loop goroutine is safe.
+	if err := spec.Validate(s.world); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := spec.QueryID()
+
+	// Reserve the registry slot before submitting so a duplicate ID can
+	// never orphan a live query's record; finished IDs may be reused.
+	rec := &queryRecord{id: id, typ: spec.Kind().String()}
+	s.mu.Lock()
+	old := s.queries[id]
+	if old != nil && !old.isDone() {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "query %q already exists", id)
+		return
+	}
+	s.queries[id] = rec
+	s.submits++
+	if s.submits%sweepEvery == 0 {
+		s.sweepLocked()
+	}
+	s.mu.Unlock()
+
+	h, err := s.eng.Submit(spec)
+	if err != nil {
+		// Put back whatever was reserved over — a failed submission must
+		// not evict a finished record still inside its retention window.
+		s.mu.Lock()
+		if old != nil {
+			s.queries[id] = old
+		} else {
+			delete(s.queries, id)
+		}
+		s.mu.Unlock()
+		status := http.StatusBadRequest
+		if err == ps.ErrQueueFull {
+			status = http.StatusTooManyRequests
+		} else if err == ps.ErrEngineStopped {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	rec.mu.Lock()
+	rec.handle = h
+	rec.mu.Unlock()
+	go rec.consume()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, wire.SubmitAck{ID: id, Status: "accepted"})
+}
+
+// consume moves subscription results into the record until the stream
+// closes.
+func (r *queryRecord) consume() {
+	for res := range r.handle.Results() {
+		j := wire.ResultFromSlot(res)
+		r.mu.Lock()
+		if len(r.results) >= maxResultsPerQuery {
+			r.results = r.results[1:]
+			r.truncated++
+		}
+		r.results = append(r.results, j)
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.done = true
+	r.doneAt = time.Now()
+	if err := r.handle.Err(); err != nil {
+		r.errMsg = err.Error()
+	}
+	r.mu.Unlock()
+}
+
+func (s *Server) record(id string) *queryRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	rec.mu.Lock()
+	resp := wire.QueryStatus{
+		ID:               rec.id,
+		Type:             rec.typ,
+		Done:             rec.done,
+		Results:          append([]wire.Result(nil), rec.results...),
+		ResultsTruncated: rec.truncated,
+		Error:            rec.errMsg,
+	}
+	rec.mu.Unlock()
+	if resp.Results == nil {
+		resp.Results = []wire.Result{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, resp)
+}
+
+// handleList serves GET /queries: one page of the registry ordered by
+// query ID, so operators can enumerate live queries instead of guessing
+// IDs. ?offset= and ?limit= paginate (limit defaults to 100, capped at
+// 1000).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil || offset < 0 {
+		httpError(w, http.StatusBadRequest, "bad offset %q", r.URL.Query().Get("offset"))
+		return
+	}
+	limit, err := queryInt(r, "limit", defaultListLimit)
+	if err != nil || limit < 1 {
+		httpError(w, http.StatusBadRequest, "bad limit %q", r.URL.Query().Get("limit"))
+		return
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+
+	s.mu.Lock()
+	recs := make([]*queryRecord, 0, len(s.queries))
+	for _, rec := range s.queries {
+		recs = append(recs, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+
+	list := wire.QueryList{Total: len(recs), Offset: offset, Queries: []wire.QuerySummary{}}
+	if offset < len(recs) {
+		page := recs[offset:]
+		if len(page) > limit {
+			page = page[:limit]
+		}
+		for _, rec := range page {
+			rec.mu.Lock()
+			list.Queries = append(list.Queries, wire.QuerySummary{
+				ID:      rec.id,
+				Type:    rec.typ,
+				Done:    rec.done,
+				Results: len(rec.results),
+			})
+			rec.mu.Unlock()
+		}
+	}
+	list.Count = len(list.Queries)
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, list)
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	rec.mu.Lock()
+	h := rec.handle
+	done := rec.done
+	rec.mu.Unlock()
+	if h == nil {
+		httpError(w, http.StatusConflict, "query %q still registering", rec.id)
+		return
+	}
+	if done {
+		httpError(w, http.StatusGone, "query %q already finished", rec.id)
+		return
+	}
+	if err := h.Cancel(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "cancel: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, wire.SubmitAck{ID: rec.id, Status: "canceling"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := wire.MetricsFrom(s.eng.Metrics(), ps.Strategy(s.strategy.Load()).String())
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, m)
+}
+
+func (s *Server) handleGetStrategy(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, wire.StrategyBody{Strategy: ps.Strategy(s.strategy.Load()).String()})
+}
+
+// handleSetStrategy switches the candidate-evaluation strategy of the
+// live engine. Selections are bit-identical across strategies, so the
+// switch is safe mid-stream; it takes effect from the next slot.
+func (s *Server) handleSetStrategy(w http.ResponseWriter, r *http.Request) {
+	var req wire.StrategyBody
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	// ParseStrategy treats "" as auto; an absent field must not silently
+	// reset a live engine, so require an explicit name here.
+	if req.Strategy == "" {
+		httpError(w, http.StatusBadRequest, `missing "strategy" (want auto, serial, sharded, lazy or lazy-sharded)`)
+		return
+	}
+	strat, err := ps.ParseStrategy(req.Strategy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.stratMu.Lock()
+	err = s.eng.SetGreedyStrategy(strat)
+	if err == nil {
+		s.strategy.Store(int32(strat))
+	}
+	s.stratMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "set strategy: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, wire.StrategyBody{Strategy: strat.String(), Status: "ok"})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	m := s.eng.Metrics()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, wire.Healthz{OK: true, Slots: m.Slots, QueueDepth: m.QueueDepth})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSON(w, wire.ErrorBody{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	ps "repro"
+)
+
+// newTestStack builds a virtual-clock engine behind the HTTP handler so
+// the test controls slot execution deterministically.
+func newTestStack(t *testing.T, opts ...ps.Option) (*ps.Engine, *httptest.Server) {
+	t.Helper()
+	world := ps.NewRWMWorld(1, 200, ps.SensorConfig{})
+	eng := ps.NewEngine(ps.NewAggregator(world, opts...))
+	eng.Start()
+	ts := httptest.NewServer(New(eng, world, Options{Strategy: ps.StrategyAuto}).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Stop()
+	})
+	return eng, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestServePointQueryEndToEnd(t *testing.T) {
+	eng, ts := newTestStack(t)
+
+	status, resp := postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "point", "id": "p1", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
+	})
+	if status != http.StatusAccepted || resp["id"] != "p1" {
+		t.Fatalf("submit: status %d resp %v", status, resp)
+	}
+
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+
+	// The consumer goroutine moves the result into the registry; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, resp = getJSON(t, ts.URL+"/query/p1")
+		if status != http.StatusOK {
+			t.Fatalf("get: status %d resp %v", status, resp)
+		}
+		if resp["done"] == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query never completed: %v", resp)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	results, ok := resp["results"].([]any)
+	if !ok || len(results) != 1 {
+		t.Fatalf("results = %v, want exactly 1", resp["results"])
+	}
+	r0 := results[0].(map[string]any)
+	if r0["final"] != true {
+		t.Errorf("result not final: %v", r0)
+	}
+	if r0["answered"] == true {
+		if v, p := r0["value"].(float64), r0["payment"].(float64); p >= v {
+			t.Errorf("payment %v >= value %v", p, v)
+		}
+	}
+
+	// Engine metrics reflect the slot.
+	status, m := getJSON(t, ts.URL+"/metrics")
+	if status != http.StatusOK || m["slots"].(float64) != 1 || m["queries_submitted"].(float64) != 1 {
+		t.Fatalf("metrics = %v", m)
+	}
+	status, h := getJSON(t, ts.URL+"/healthz")
+	if status != http.StatusOK || h["ok"] != true {
+		t.Fatalf("healthz = %v", h)
+	}
+
+	// Canceling an already-finished query is not "canceling": 410.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/query/p1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusGone {
+		t.Errorf("DELETE finished query: status %d, want 410", dresp.StatusCode)
+	}
+}
+
+// TestServeAcceptsLegacyAndV1Envelopes: the same submission works as a
+// legacy (unversioned) body and as a v1 envelope; future versions are
+// refused.
+func TestServeAcceptsLegacyAndV1Envelopes(t *testing.T) {
+	eng, ts := newTestStack(t)
+
+	legacy := map[string]any{
+		"type": "point", "id": "legacy", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
+	}
+	if status, resp := postJSON(t, ts.URL+"/query", legacy); status != http.StatusAccepted {
+		t.Fatalf("legacy body: status %d resp %v", status, resp)
+	}
+	v1 := map[string]any{
+		"v": 1, "type": "point", "id": "v1", "loc": map[string]float64{"x": 31, "y": 31}, "budget": 20,
+	}
+	if status, resp := postJSON(t, ts.URL+"/query", v1); status != http.StatusAccepted {
+		t.Fatalf("v1 envelope: status %d resp %v", status, resp)
+	}
+	future := map[string]any{
+		"v": 99, "type": "point", "id": "future", "loc": map[string]float64{"x": 31, "y": 31}, "budget": 20,
+	}
+	if status, _ := postJSON(t, ts.URL+"/query", future); status != http.StatusBadRequest {
+		t.Errorf("future envelope version: status %d, want 400", status)
+	}
+
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	for _, id := range []string{"legacy", "v1"} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, resp := getJSON(t, ts.URL+"/query/"+id)
+			if resp["done"] == true {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("query %s never completed: %v", id, resp)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestServeContinuousCancel(t *testing.T) {
+	eng, ts := newTestStack(t)
+
+	status, resp := postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "locmon", "loc": map[string]float64{"x": 30, "y": 30},
+		"budget": 120, "duration": 20, "samples": 5,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d resp %v", status, resp)
+	}
+	id := resp["id"].(string)
+	if err := eng.RunSlots(2); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/query/%s", ts.URL, id), nil)
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", cresp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, resp = getJSON(t, ts.URL+"/query/"+id)
+		if resp["done"] == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never completed: %v", resp)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp["error"] != ps.ErrCanceled.Error() {
+		t.Fatalf("error = %v, want %q", resp["error"], ps.ErrCanceled.Error())
+	}
+	if results := resp["results"].([]any); len(results) != 2 {
+		t.Fatalf("got %d results before cancel, want 2", len(results))
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	_, ts := newTestStack(t)
+
+	status, _ := postJSON(t, ts.URL+"/query", map[string]any{"type": "nonsense"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown type: status %d, want 400", status)
+	}
+	status, _ = postJSON(t, ts.URL+"/query", map[string]any{"type": "point", "budget": 10})
+	if status != http.StatusBadRequest {
+		t.Errorf("missing loc: status %d, want 400", status)
+	}
+	status, _ = getJSON(t, ts.URL+"/query/absent")
+	if status != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", status)
+	}
+	// Spec validation runs before the engine sees the submission: a
+	// negative budget or a zero-duration window is a synchronous 400.
+	status, _ = postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "point", "loc": map[string]float64{"x": 30, "y": 30}, "budget": -5,
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("negative budget: status %d, want 400", status)
+	}
+	status, _ = postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "locmon", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 100,
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("zero duration: status %d, want 400", status)
+	}
+	// regmon needs a GP world; the RWM test world must be rejected up
+	// front with 400, not accepted into a subscription that cannot work.
+	status, _ = postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "regmon", "region": map[string]float64{"x0": 20, "y0": 20, "x1": 40, "y1": 40},
+		"budget": 100, "duration": 5,
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("regmon without GP model: status %d, want 400", status)
+	}
+
+	// A live query ID cannot be reused: the registry rejects it without
+	// touching the engine, so the original record stays reachable.
+	body := map[string]any{"type": "locmon", "id": "taken",
+		"loc": map[string]float64{"x": 30, "y": 30}, "budget": 120, "duration": 20, "samples": 5}
+	if status, _ := postJSON(t, ts.URL+"/query", body); status != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/query", body); status != http.StatusConflict {
+		t.Errorf("duplicate live id: status %d, want 409", status)
+	}
+}
+
+// TestServeListQueries: GET /queries pages through the registry in ID
+// order with done/result-count summaries.
+func TestServeListQueries(t *testing.T) {
+	eng, ts := newTestStack(t)
+
+	for i := 0; i < 5; i++ {
+		status, _ := postJSON(t, ts.URL+"/query", map[string]any{
+			"v": 1, "type": "point", "id": fmt.Sprintf("list-%d", i),
+			"loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
+		})
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, status)
+		}
+	}
+	status, list := getJSON(t, ts.URL+"/queries")
+	if status != http.StatusOK {
+		t.Fatalf("list: status %d", status)
+	}
+	if list["total"].(float64) != 5 || list["count"].(float64) != 5 {
+		t.Fatalf("list = %v, want total 5 count 5", list)
+	}
+	rows := list["queries"].([]any)
+	for i, row := range rows {
+		r := row.(map[string]any)
+		if want := fmt.Sprintf("list-%d", i); r["id"] != want {
+			t.Errorf("row %d id = %v, want %s (ID-ordered)", i, r["id"], want)
+		}
+		if r["type"] != "point" {
+			t.Errorf("row %d type = %v", i, r["type"])
+		}
+	}
+
+	// Pagination: offset 3, limit 10 -> the last two.
+	_, page := getJSON(t, ts.URL+"/queries?offset=3&limit=10")
+	if page["count"].(float64) != 2 || page["offset"].(float64) != 3 {
+		t.Fatalf("page = %v, want count 2 offset 3", page)
+	}
+	// Limit 2 from the start.
+	_, page = getJSON(t, ts.URL+"/queries?limit=2")
+	if page["count"].(float64) != 2 || page["total"].(float64) != 5 {
+		t.Fatalf("page = %v, want count 2 total 5", page)
+	}
+	// Offset past the end: empty page, not an error.
+	_, page = getJSON(t, ts.URL+"/queries?offset=99")
+	if page["count"].(float64) != 0 {
+		t.Fatalf("page past end = %v, want count 0", page)
+	}
+	// Bad parameters are 400s.
+	if st, _ := getJSON(t, ts.URL+"/queries?offset=-1"); st != http.StatusBadRequest {
+		t.Errorf("negative offset: status %d, want 400", st)
+	}
+	if st, _ := getJSON(t, ts.URL+"/queries?limit=zero"); st != http.StatusBadRequest {
+		t.Errorf("non-numeric limit: status %d, want 400", st)
+	}
+
+	// After a slot, the records finish and report their result counts.
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, list = getJSON(t, ts.URL+"/queries")
+		done := 0
+		for _, row := range list["queries"].([]any) {
+			r := row.(map[string]any)
+			if r["done"] == true && r["results"].(float64) == 1 {
+				done++
+			}
+		}
+		if done == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("records never finished: %v", list)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeStrategyAndSelectionMetrics drives a mixed slot through the
+// lazy strategy and checks that /metrics exposes the valuation-call and
+// lazy-heap counters, and that /strategy switches at runtime.
+func TestServeStrategyAndSelectionMetrics(t *testing.T) {
+	eng, ts := newTestStack(t, ps.WithGreedyStrategy(ps.StrategyLazy))
+
+	// An aggregate query routes the slot through the greedy mix pipeline.
+	status, _ := postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "aggregate", "id": "a1",
+		"region": map[string]float64{"x0": 20, "y0": 20, "x1": 45, "y1": 45}, "budget": 300,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit aggregate: status %d", status)
+	}
+	postJSON(t, ts.URL+"/query", map[string]any{
+		"type": "point", "id": "p1", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
+	})
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+
+	status, m := getJSON(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if m["valuation_calls"].(float64) <= 0 {
+		t.Errorf("valuation_calls = %v, want > 0", m["valuation_calls"])
+	}
+	if m["strategy_last_slot"] != "lazy" {
+		t.Errorf("strategy_last_slot = %v, want lazy", m["strategy_last_slot"])
+	}
+	for _, key := range []string{"valuation_calls_saved", "lazy_reevaluations", "submodularity_violations", "fallback_rescans"} {
+		if _, ok := m[key].(float64); !ok {
+			t.Errorf("metrics missing %s: %v", key, m[key])
+		}
+	}
+
+	// Runtime strategy switch: reported by GET /strategy and used by the
+	// next slot.
+	status, resp := postJSON(t, ts.URL+"/strategy", map[string]any{"strategy": "sharded"})
+	if status != http.StatusOK || resp["strategy"] != "sharded" {
+		t.Fatalf("set strategy: status %d resp %v", status, resp)
+	}
+	status, resp = getJSON(t, ts.URL+"/strategy")
+	if status != http.StatusOK || resp["strategy"] != "sharded" {
+		t.Fatalf("get strategy: status %d resp %v", status, resp)
+	}
+	if status, _ := postJSON(t, ts.URL+"/strategy", map[string]any{"strategy": "nonsense"}); status != http.StatusBadRequest {
+		t.Errorf("bad strategy: status %d, want 400", status)
+	}
+	// A missing "strategy" field must not silently reset a live engine
+	// to auto.
+	if status, _ := postJSON(t, ts.URL+"/strategy", map[string]any{}); status != http.StatusBadRequest {
+		t.Errorf("empty strategy: status %d, want 400", status)
+	}
+}
+
+// TestServeAutoIDSkipsLiveClientIDs: a server-assigned ID never
+// collides with a live client-chosen one.
+func TestServeAutoIDSkipsLiveClientIDs(t *testing.T) {
+	_, ts := newTestStack(t)
+
+	// A client explicitly claims "q1" with a long-lived query.
+	status, _ := postJSON(t, ts.URL+"/query", map[string]any{
+		"v": 1, "type": "locmon", "id": "q1",
+		"loc": map[string]float64{"x": 30, "y": 30}, "budget": 120, "duration": 100, "samples": 5,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("explicit submit: status %d", status)
+	}
+	// An ID-less submission must get a fresh ID, not a 409 on "q1".
+	status, resp := postJSON(t, ts.URL+"/query", map[string]any{
+		"v": 1, "type": "point", "loc": map[string]float64{"x": 30, "y": 30}, "budget": 20,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("auto-ID submit: status %d resp %v", status, resp)
+	}
+	if resp["id"] == "q1" || resp["id"] == "" {
+		t.Fatalf("auto-assigned id = %v, want a fresh non-conflicting id", resp["id"])
+	}
+}
+
+func TestRegistrySweepEvictsFinishedRecords(t *testing.T) {
+	world := ps.NewRWMWorld(2, 50, ps.SensorConfig{})
+	eng := ps.NewEngine(ps.NewAggregator(world))
+	defer eng.Stop()
+	s := New(eng, world, Options{NoRetention: true}) // done records evict immediately
+
+	s.queries["old-done"] = &queryRecord{id: "old-done", done: true, doneAt: time.Now().Add(-time.Minute)}
+	s.queries["live"] = &queryRecord{id: "live"}
+	s.mu.Lock()
+	s.sweepLocked()
+	s.mu.Unlock()
+	if _, ok := s.queries["old-done"]; ok {
+		t.Error("finished record survived the sweep")
+	}
+	if _, ok := s.queries["live"]; !ok {
+		t.Error("live record was evicted")
+	}
+}

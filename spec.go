@@ -1,0 +1,447 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"repro/internal/query"
+)
+
+// QueryKind identifies one of the eight query types of the paper's
+// taxonomy (Fig. 1, §2.2-§2.3).
+type QueryKind int
+
+// The eight query kinds.
+const (
+	// KindPoint is the single-sensor point query (Eq. 3).
+	KindPoint QueryKind = iota
+	// KindMultiPoint is the multiple-sensor (k-redundancy) point query.
+	KindMultiPoint
+	// KindAggregate is the spatial aggregate query over a region (Eq. 5).
+	KindAggregate
+	// KindTrajectory is the aggregate query over a trajectory (§2.2.3).
+	KindTrajectory
+	// KindLocationMonitoring is continuous monitoring of one location
+	// (Eqs. 16-17).
+	KindLocationMonitoring
+	// KindRegionMonitoring is continuous monitoring of a region (Eq. 7).
+	KindRegionMonitoring
+	// KindEventDetection watches one location for threshold crossings
+	// (§2.3 extension).
+	KindEventDetection
+	// KindRegionEvent watches a region's average for threshold crossings
+	// (§2.3's Q4, extension).
+	KindRegionEvent
+)
+
+// String returns the kind's wire name, as used by the JSON codec (package
+// wire) and the psserve HTTP API.
+func (k QueryKind) String() string {
+	switch k {
+	case KindPoint:
+		return "point"
+	case KindMultiPoint:
+		return "multipoint"
+	case KindAggregate:
+		return "aggregate"
+	case KindTrajectory:
+		return "trajectory"
+	case KindLocationMonitoring:
+		return "locmon"
+	case KindRegionMonitoring:
+		return "regmon"
+	case KindEventDetection:
+		return "event"
+	case KindRegionEvent:
+		return "regionevent"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(k))
+	}
+}
+
+// ParseQueryKind parses a wire name ("point", "multipoint", "aggregate",
+// "trajectory", "locmon", "regmon", "event", "regionevent") into its kind.
+func ParseQueryKind(s string) (QueryKind, error) {
+	for k := KindPoint; k <= KindRegionEvent; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("ps: unknown query kind %q", s)
+}
+
+// Spec is the declarative description of one query of any kind: what the
+// issuer wants, with no reference to when it will run. A Spec is submitted
+// with Aggregator.Submit (batch use) or Engine.Submit (streaming use);
+// continuous kinds carry a relative Duration and have their start slot
+// bound only when the spec is materialized — under an Engine that happens
+// on the event-loop goroutine, so a window can never be silently shortened
+// by slots that tick between enqueue and execution.
+//
+// The interface is sealed: the eight implementations in this package
+// (PointSpec, MultiPointSpec, AggregateSpec, TrajectorySpec,
+// LocationMonitoringSpec, RegionMonitoringSpec, EventDetectionSpec,
+// RegionEventSpec) are the only query kinds the aggregator serves; a new
+// kind is added here, and submission, validation, the wire codec and the
+// client SDK pick it up without per-kind entry points.
+type Spec interface {
+	// QueryID returns the issuer-chosen query identifier.
+	QueryID() string
+	// Kind returns the query kind the spec describes.
+	Kind() QueryKind
+	// Validate checks the spec against the world it would run on. It is
+	// called by Aggregator.Submit before materialization; transports (the
+	// psserve daemon) call it up front to reject bad requests
+	// synchronously.
+	Validate(w *World) error
+
+	// materialize registers the described query with the aggregator,
+	// binding its start slot to the aggregator's next slot. It seals the
+	// interface to this package.
+	materialize(a *Aggregator) (SubmittedQuery, error)
+}
+
+// SubmittedQuery describes a query accepted by Aggregator.Submit.
+type SubmittedQuery struct {
+	// ID is the query identifier; per-slot outcomes are keyed by it.
+	ID string
+	// Kind is the submitted spec's kind.
+	Kind QueryKind
+	// Start is the first slot the query can produce a result for; End is
+	// the last. One-shot kinds have Start == End.
+	Start int
+	End   int
+
+	query any
+}
+
+// Underlying returns the registered query object (*PointQuery,
+// *AggregateQuery, *LocationMonitoringQuery, ...) for callers that need
+// the concrete runtime state, e.g. a monitoring query's samples.
+func (s SubmittedQuery) Underlying() any { return s.query }
+
+// Submit validates a spec against the aggregator's world and registers
+// the described query for the upcoming slots. It is the single entry
+// point subsuming the per-kind Submit* methods; like them it must be
+// called by the goroutine owning the aggregator (under an Engine, use
+// Engine.Submit instead).
+func (a *Aggregator) Submit(spec Spec) (SubmittedQuery, error) {
+	if isNilSpec(spec) {
+		return SubmittedQuery{}, errNilSpec
+	}
+	if err := spec.Validate(a.world); err != nil {
+		return SubmittedQuery{}, err
+	}
+	return spec.materialize(a)
+}
+
+var errNilSpec = errors.New("ps: nil query spec")
+
+// isNilSpec catches both an untyped nil and a typed-nil pointer spec
+// ((*PointSpec)(nil) satisfies Spec but would panic on method dispatch).
+func isNilSpec(spec Spec) bool {
+	if spec == nil {
+		return true
+	}
+	v := reflect.ValueOf(spec)
+	return v.Kind() == reflect.Pointer && v.IsNil()
+}
+
+// validateCommon checks the fields every spec shares. field names the
+// spec's budget field in errors ("budget", or "budget_per_slot" for the
+// event kinds), matching the wire envelope so HTTP rejections point at
+// the field the client actually sent.
+func validateCommon(kind QueryKind, id string, budget float64, field string) error {
+	if id == "" {
+		return fmt.Errorf("ps: %s spec: empty query ID", kind)
+	}
+	if budget < 0 {
+		return fmt.Errorf("ps: %s spec %q: negative %s %v", kind, id, field, budget)
+	}
+	return nil
+}
+
+// validateDuration checks a continuous kind's window length.
+func validateDuration(kind QueryKind, id string, duration int) error {
+	if duration < 1 {
+		return fmt.Errorf("ps: %s spec %q: duration %d, want >= 1 slot", kind, id, duration)
+	}
+	return nil
+}
+
+// PointSpec describes a single-sensor point query (Eq. 3): the value of
+// the phenomenon at Loc, for at most Budget.
+type PointSpec struct {
+	ID     string
+	Loc    Point
+	Budget float64
+}
+
+// QueryID implements Spec.
+func (s PointSpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s PointSpec) Kind() QueryKind { return KindPoint }
+
+// Validate implements Spec.
+func (s PointSpec) Validate(*World) error {
+	return validateCommon(KindPoint, s.ID, s.Budget, "budget")
+}
+
+func (s PointSpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	q := query.NewPoint(s.ID, s.Loc, s.Budget, a.world.DMax)
+	a.points = append(a.points, q)
+	next := a.NextSlot()
+	return SubmittedQuery{ID: s.ID, Kind: KindPoint, Start: next, End: next, query: q}, nil
+}
+
+// MultiPointSpec describes a multiple-sensor point query asking for K
+// redundant readings at Loc. K < 1 is treated as 1.
+type MultiPointSpec struct {
+	ID     string
+	Loc    Point
+	Budget float64
+	K      int
+}
+
+// QueryID implements Spec.
+func (s MultiPointSpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s MultiPointSpec) Kind() QueryKind { return KindMultiPoint }
+
+// Validate implements Spec.
+func (s MultiPointSpec) Validate(*World) error {
+	if err := validateCommon(KindMultiPoint, s.ID, s.Budget, "budget"); err != nil {
+		return err
+	}
+	if s.K < 0 {
+		return fmt.Errorf("ps: multipoint spec %q: negative redundancy k = %d", s.ID, s.K)
+	}
+	return nil
+}
+
+func (s MultiPointSpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	q := query.NewMultiPoint(s.ID, s.Loc, s.Budget, a.world.DMax, s.K)
+	a.extra = append(a.extra, q)
+	next := a.NextSlot()
+	return SubmittedQuery{ID: s.ID, Kind: KindMultiPoint, Start: next, End: next, query: q}, nil
+}
+
+// AggregateSpec describes a spatial aggregate query over Region (Eq. 5);
+// the sensing range defaults to the world's dmax.
+type AggregateSpec struct {
+	ID     string
+	Region Rect
+	Budget float64
+}
+
+// QueryID implements Spec.
+func (s AggregateSpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s AggregateSpec) Kind() QueryKind { return KindAggregate }
+
+// Validate implements Spec.
+func (s AggregateSpec) Validate(*World) error {
+	return validateCommon(KindAggregate, s.ID, s.Budget, "budget")
+}
+
+func (s AggregateSpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	q := query.NewAggregate(s.ID, s.Region, s.Budget, a.world.DMax, a.world.Grid)
+	a.aggs = append(a.aggs, q)
+	next := a.NextSlot()
+	return SubmittedQuery{ID: s.ID, Kind: KindAggregate, Start: next, End: next, query: q}, nil
+}
+
+// TrajectorySpec describes an aggregate query along Path (§2.2.3).
+type TrajectorySpec struct {
+	ID     string
+	Path   Trajectory
+	Budget float64
+}
+
+// QueryID implements Spec.
+func (s TrajectorySpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s TrajectorySpec) Kind() QueryKind { return KindTrajectory }
+
+// Validate implements Spec.
+func (s TrajectorySpec) Validate(*World) error {
+	if err := validateCommon(KindTrajectory, s.ID, s.Budget, "budget"); err != nil {
+		return err
+	}
+	if len(s.Path.Waypoints) < 2 {
+		return fmt.Errorf("ps: trajectory spec %q: %d waypoints, want >= 2", s.ID, len(s.Path.Waypoints))
+	}
+	return nil
+}
+
+func (s TrajectorySpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	q := query.NewTrajectory(s.ID, s.Path, s.Budget, a.world.DMax)
+	a.extra = append(a.extra, q)
+	next := a.NextSlot()
+	return SubmittedQuery{ID: s.ID, Kind: KindTrajectory, Start: next, End: next, query: q}, nil
+}
+
+// LocationMonitoringSpec describes continuous monitoring of Loc for
+// Duration slots starting at the next slot after materialization; Samples
+// desired sampling times are chosen from the location's history and the
+// Budget should scale with the duration.
+type LocationMonitoringSpec struct {
+	ID       string
+	Loc      Point
+	Duration int
+	Budget   float64
+	Samples  int
+}
+
+// QueryID implements Spec.
+func (s LocationMonitoringSpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s LocationMonitoringSpec) Kind() QueryKind { return KindLocationMonitoring }
+
+// Validate implements Spec.
+func (s LocationMonitoringSpec) Validate(*World) error {
+	if err := validateCommon(KindLocationMonitoring, s.ID, s.Budget, "budget"); err != nil {
+		return err
+	}
+	if err := validateDuration(KindLocationMonitoring, s.ID, s.Duration); err != nil {
+		return err
+	}
+	if s.Samples < 0 {
+		return fmt.Errorf("ps: locmon spec %q: negative sample count %d", s.ID, s.Samples)
+	}
+	return nil
+}
+
+func (s LocationMonitoringSpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	start := a.NextSlot()
+	hist := a.world.History(s.Loc, start+s.Duration+1)
+	q := query.NewLocationMonitoring(s.ID, s.Loc, start, start+s.Duration-1, s.Budget, a.world.DMax, hist, s.Samples)
+	a.locMon = append(a.locMon, q)
+	return SubmittedQuery{ID: s.ID, Kind: KindLocationMonitoring, Start: q.Start, End: q.End, query: q}, nil
+}
+
+// RegionMonitoringSpec describes continuous monitoring of Region for
+// Duration slots; it requires a world with a learned GP phenomenon model
+// (NewIntelLabWorld provides one).
+type RegionMonitoringSpec struct {
+	ID       string
+	Region   Rect
+	Duration int
+	Budget   float64
+}
+
+// QueryID implements Spec.
+func (s RegionMonitoringSpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s RegionMonitoringSpec) Kind() QueryKind { return KindRegionMonitoring }
+
+// Validate implements Spec. The GP-model precondition lives here: every
+// transport (Engine, psserve, psclient) shares one check instead of
+// re-implementing it per handler.
+func (s RegionMonitoringSpec) Validate(w *World) error {
+	if err := validateCommon(KindRegionMonitoring, s.ID, s.Budget, "budget"); err != nil {
+		return err
+	}
+	if err := validateDuration(KindRegionMonitoring, s.ID, s.Duration); err != nil {
+		return err
+	}
+	if w == nil || w.GPModel == nil {
+		return errNoGPModel(w)
+	}
+	return nil
+}
+
+// errNoGPModel is the shared region-monitoring precondition failure.
+func errNoGPModel(w *World) error {
+	name := "(nil)"
+	if w != nil {
+		name = w.Name
+	}
+	return fmt.Errorf("ps: world %q has no GP phenomenon model; region monitoring needs one", name)
+}
+
+func (s RegionMonitoringSpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	if a.world.GPModel == nil {
+		return SubmittedQuery{}, errNoGPModel(a.world)
+	}
+	start := a.NextSlot()
+	q := query.NewRegionMonitoring(s.ID, s.Region, start, start+s.Duration-1, s.Budget, a.world.GPModel, a.world.Grid)
+	a.regMon = append(a.regMon, q)
+	return SubmittedQuery{ID: s.ID, Kind: KindRegionMonitoring, Start: q.Start, End: q.End, query: q}, nil
+}
+
+// EventDetectionSpec describes a continuous event-detection query (§2.3
+// extension) at Loc: redundant sampling every slot for Duration slots,
+// notification when the phenomenon exceeds Threshold with the requested
+// Confidence. Confidence outside (0,1) is clamped to the evaluation
+// defaults.
+type EventDetectionSpec struct {
+	ID            string
+	Loc           Point
+	Duration      int
+	Threshold     float64
+	Confidence    float64
+	BudgetPerSlot float64
+}
+
+// QueryID implements Spec.
+func (s EventDetectionSpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s EventDetectionSpec) Kind() QueryKind { return KindEventDetection }
+
+// Validate implements Spec.
+func (s EventDetectionSpec) Validate(*World) error {
+	if err := validateCommon(KindEventDetection, s.ID, s.BudgetPerSlot, "budget_per_slot"); err != nil {
+		return err
+	}
+	return validateDuration(KindEventDetection, s.ID, s.Duration)
+}
+
+func (s EventDetectionSpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	start := a.NextSlot()
+	q := query.NewEventDetection(s.ID, s.Loc, start, start+s.Duration-1, s.Threshold, s.Confidence, s.BudgetPerSlot, a.world.DMax)
+	a.events = append(a.events, q)
+	return SubmittedQuery{ID: s.ID, Kind: KindEventDetection, Start: q.Start, End: q.End, query: q}, nil
+}
+
+// RegionEventSpec describes a continuous region event-detection query
+// (§2.3's Q4 as an extension): every slot a spatial-aggregate probe is
+// scheduled over Region and the quality-weighted regional average is
+// tested against Threshold, with confidence scaled by achieved coverage.
+type RegionEventSpec struct {
+	ID            string
+	Region        Rect
+	Duration      int
+	Threshold     float64
+	Confidence    float64
+	BudgetPerSlot float64
+}
+
+// QueryID implements Spec.
+func (s RegionEventSpec) QueryID() string { return s.ID }
+
+// Kind implements Spec.
+func (s RegionEventSpec) Kind() QueryKind { return KindRegionEvent }
+
+// Validate implements Spec.
+func (s RegionEventSpec) Validate(*World) error {
+	if err := validateCommon(KindRegionEvent, s.ID, s.BudgetPerSlot, "budget_per_slot"); err != nil {
+		return err
+	}
+	return validateDuration(KindRegionEvent, s.ID, s.Duration)
+}
+
+func (s RegionEventSpec) materialize(a *Aggregator) (SubmittedQuery, error) {
+	start := a.NextSlot()
+	q := query.NewRegionEvent(s.ID, s.Region, start, start+s.Duration-1, s.Threshold, s.Confidence, s.BudgetPerSlot, a.world.DMax, a.world.Grid)
+	a.regEvents = append(a.regEvents, q)
+	return SubmittedQuery{ID: s.ID, Kind: KindRegionEvent, Start: q.Start, End: q.End, query: q}, nil
+}

@@ -1,0 +1,331 @@
+package ps
+
+import (
+	"fmt"
+	"maps"
+	"strings"
+	"testing"
+)
+
+func TestQueryKindStringRoundTrip(t *testing.T) {
+	kinds := []QueryKind{
+		KindPoint, KindMultiPoint, KindAggregate, KindTrajectory,
+		KindLocationMonitoring, KindRegionMonitoring, KindEventDetection, KindRegionEvent,
+	}
+	if len(kinds) != 8 {
+		t.Fatalf("expected 8 kinds")
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if seen[name] {
+			t.Errorf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+		back, err := ParseQueryKind(name)
+		if err != nil || back != k {
+			t.Errorf("ParseQueryKind(%q) = %v, %v; want %v", name, back, err, k)
+		}
+	}
+	if _, err := ParseQueryKind("nonsense"); err == nil {
+		t.Error("ParseQueryKind(nonsense) succeeded")
+	}
+}
+
+// TestSpecValidateRejections: the centralized validation rejects the
+// malformed specs each transport used to have to police itself.
+func TestSpecValidateRejections(t *testing.T) {
+	rwm := NewRWMWorld(1, 50, SensorConfig{})
+	gp := NewIntelLabWorld(1, SensorConfig{})
+
+	valid := []Spec{
+		PointSpec{ID: "p", Loc: Pt(30, 30), Budget: 10},
+		MultiPointSpec{ID: "mp", Loc: Pt(30, 30), Budget: 10, K: 3},
+		AggregateSpec{ID: "a", Region: NewRect(20, 20, 40, 40), Budget: 100},
+		TrajectorySpec{ID: "tr", Path: Trajectory{Waypoints: []Point{Pt(0, 0), Pt(10, 10)}}, Budget: 50},
+		LocationMonitoringSpec{ID: "lm", Loc: Pt(30, 30), Duration: 5, Budget: 100, Samples: 3},
+		EventDetectionSpec{ID: "ev", Loc: Pt(30, 30), Duration: 5, Threshold: 1, Confidence: 0.9, BudgetPerSlot: 10},
+		RegionEventSpec{ID: "re", Region: NewRect(20, 20, 40, 40), Duration: 5, Threshold: 1, Confidence: 0.9, BudgetPerSlot: 10},
+	}
+	for _, spec := range valid {
+		if err := spec.Validate(rwm); err != nil {
+			t.Errorf("valid %s spec rejected: %v", spec.Kind(), err)
+		}
+	}
+	if err := (RegionMonitoringSpec{ID: "rm", Region: NewRect(1, 1, 10, 10), Duration: 5, Budget: 100}).Validate(gp); err != nil {
+		t.Errorf("valid regmon spec rejected on GP world: %v", err)
+	}
+
+	rejections := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"empty id", PointSpec{Loc: Pt(1, 1), Budget: 5}, "empty query ID"},
+		{"negative budget point", PointSpec{ID: "p", Loc: Pt(1, 1), Budget: -5}, "negative budget"},
+		{"negative budget aggregate", AggregateSpec{ID: "a", Region: NewRect(0, 0, 5, 5), Budget: -1}, "negative budget"},
+		{"negative k", MultiPointSpec{ID: "mp", Loc: Pt(1, 1), Budget: 5, K: -2}, "negative redundancy"},
+		{"empty trajectory", TrajectorySpec{ID: "tr", Budget: 5}, "0 waypoints"},
+		{"one-waypoint trajectory", TrajectorySpec{ID: "tr", Path: Trajectory{Waypoints: []Point{Pt(1, 1)}}, Budget: 5}, "1 waypoints"},
+		{"zero duration locmon", LocationMonitoringSpec{ID: "lm", Loc: Pt(1, 1), Budget: 10}, "duration 0"},
+		{"negative duration event", EventDetectionSpec{ID: "ev", Loc: Pt(1, 1), Duration: -3, BudgetPerSlot: 5}, "duration -3"},
+		{"zero duration regionevent", RegionEventSpec{ID: "re", Region: NewRect(0, 0, 5, 5), BudgetPerSlot: 5}, "duration 0"},
+		{"negative samples", LocationMonitoringSpec{ID: "lm", Loc: Pt(1, 1), Duration: 5, Budget: 10, Samples: -1}, "negative sample count"},
+		{"negative per-slot budget", EventDetectionSpec{ID: "ev", Loc: Pt(1, 1), Duration: 5, BudgetPerSlot: -5}, "negative budget"},
+		{"regmon without GP model", RegionMonitoringSpec{ID: "rm", Region: NewRect(0, 0, 5, 5), Duration: 5, Budget: 10}, "no GP phenomenon model"},
+	}
+	for _, tc := range rejections {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate(rwm)
+			if err == nil {
+				t.Fatalf("Validate accepted %#v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want it to contain %q", err, tc.want)
+			}
+			// Submit must refuse the same spec without registering anything.
+			agg := NewAggregator(rwm)
+			if _, err := agg.Submit(tc.spec); err == nil {
+				t.Errorf("Submit accepted invalid spec %#v", tc.spec)
+			}
+		})
+	}
+}
+
+// reportSnapshot captures the comparable surface of a SlotReport.
+type reportSnapshot struct {
+	slot        int
+	welfare     float64
+	totalCost   float64
+	sensorsUsed int
+	offers      int
+	pointValue  float64
+	aggValue    float64
+	locMon      float64
+	regMon      float64
+	extra       float64
+	events      int
+	values      map[string]float64
+	payments    map[string]float64
+	answered    map[string]bool
+}
+
+func snapshot(r *SlotReport) reportSnapshot {
+	return reportSnapshot{
+		slot:        r.Slot,
+		welfare:     r.Welfare,
+		totalCost:   r.TotalCost,
+		sensorsUsed: r.SensorsUsed,
+		offers:      r.Offers,
+		pointValue:  r.PointValue,
+		aggValue:    r.AggValue,
+		locMon:      r.LocMonValue,
+		regMon:      r.RegMonValue,
+		extra:       r.ExtraValue,
+		events:      len(r.Events),
+		values:      maps.Clone(r.values),
+		payments:    maps.Clone(r.payments),
+		answered:    maps.Clone(r.answered),
+	}
+}
+
+// requireIdentical compares two snapshots bit-for-bit (float equality,
+// not tolerance: the two paths must execute the same arithmetic).
+func requireIdentical(t *testing.T, slot int, legacy, spec reportSnapshot) {
+	t.Helper()
+	if legacy.slot != spec.slot || legacy.offers != spec.offers {
+		t.Fatalf("slot %d: slot/offers diverged: %+v vs %+v", slot, legacy, spec)
+	}
+	if legacy.welfare != spec.welfare {
+		t.Fatalf("slot %d: welfare %v != %v", slot, legacy.welfare, spec.welfare)
+	}
+	if legacy.totalCost != spec.totalCost || legacy.sensorsUsed != spec.sensorsUsed {
+		t.Fatalf("slot %d: cost/sensors diverged: %+v vs %+v", slot, legacy, spec)
+	}
+	if legacy.pointValue != spec.pointValue || legacy.aggValue != spec.aggValue ||
+		legacy.locMon != spec.locMon || legacy.regMon != spec.regMon || legacy.extra != spec.extra {
+		t.Fatalf("slot %d: per-type values diverged: %+v vs %+v", slot, legacy, spec)
+	}
+	if legacy.events != spec.events {
+		t.Fatalf("slot %d: event count %d != %d", slot, legacy.events, spec.events)
+	}
+	if !maps.Equal(legacy.values, spec.values) {
+		t.Fatalf("slot %d: values diverged:\n legacy %v\n spec   %v", slot, legacy.values, spec.values)
+	}
+	if !maps.Equal(legacy.payments, spec.payments) {
+		t.Fatalf("slot %d: payments diverged:\n legacy %v\n spec   %v", slot, legacy.payments, spec.payments)
+	}
+	if !maps.Equal(legacy.answered, spec.answered) {
+		t.Fatalf("slot %d: answered diverged:\n legacy %v\n spec   %v", slot, legacy.answered, spec.answered)
+	}
+}
+
+// TestSubmitSpecGoldenEquivalence: on a fixed-seed RWM workload mixing
+// seven query kinds, spec-based submission produces bit-identical
+// SlotReports (welfare, values, payments) to the legacy Submit* methods.
+func TestSubmitSpecGoldenEquivalence(t *testing.T) {
+	const seed, sensors, slots = 17, 150, 8
+
+	legacyWorld := NewRWMWorld(seed, sensors, SensorConfig{})
+	specWorld := NewRWMWorld(seed, sensors, SensorConfig{})
+	legacy := NewAggregator(legacyWorld)
+	specAgg := NewAggregator(specWorld)
+
+	mustSubmit := func(spec Spec) {
+		t.Helper()
+		if _, err := specAgg.Submit(spec); err != nil {
+			t.Fatalf("Submit(%s %q): %v", spec.Kind(), spec.QueryID(), err)
+		}
+	}
+
+	// Continuous queries once, before slot 0.
+	legacy.SubmitLocationMonitoring("lm", Pt(30, 30), slots, 150, 4)
+	mustSubmit(LocationMonitoringSpec{ID: "lm", Loc: Pt(30, 30), Duration: slots, Budget: 150, Samples: 4})
+	legacy.SubmitEventDetection("ev", Pt(35, 30), slots, 0.5, 0.6, 30)
+	mustSubmit(EventDetectionSpec{ID: "ev", Loc: Pt(35, 30), Duration: slots, Threshold: 0.5, Confidence: 0.6, BudgetPerSlot: 30})
+	legacy.SubmitRegionEvent("re", NewRect(25, 25, 40, 40), slots, 0.5, 0.5, 60)
+	mustSubmit(RegionEventSpec{ID: "re", Region: NewRect(25, 25, 40, 40), Duration: slots, Threshold: 0.5, Confidence: 0.5, BudgetPerSlot: 60})
+
+	for slot := 0; slot < slots; slot++ {
+		// One-shot demand: identical parameters on both sides.
+		for i := 0; i < 25; i++ {
+			id := fmt.Sprintf("pt-%d-%d", slot, i)
+			x := 15 + float64((i*37+slot*11)%50)
+			y := 15 + float64((i*53+slot*29)%50)
+			legacy.SubmitPoint(id, Pt(x, y), 10+float64(i%7))
+			mustSubmit(PointSpec{ID: id, Loc: Pt(x, y), Budget: 10 + float64(i%7)})
+		}
+		for i := 0; i < 3; i++ {
+			id := fmt.Sprintf("mp-%d-%d", slot, i)
+			legacy.SubmitMultiPoint(id, Pt(30+float64(i), 32), 60, 4)
+			mustSubmit(MultiPointSpec{ID: id, Loc: Pt(30+float64(i), 32), Budget: 60, K: 4})
+		}
+		for i := 0; i < 2; i++ {
+			id := fmt.Sprintf("agg-%d-%d", slot, i)
+			r := NewRect(20+float64(5*i), 20, 38+float64(5*i), 38)
+			legacy.SubmitAggregate(id, r, 250)
+			mustSubmit(AggregateSpec{ID: id, Region: r, Budget: 250})
+		}
+		id := fmt.Sprintf("tr-%d", slot)
+		path := Trajectory{Waypoints: []Point{Pt(20, 20), Pt(35, 30), Pt(45, 45)}}
+		legacy.SubmitTrajectory(id, path, 120)
+		mustSubmit(TrajectorySpec{ID: id, Path: path, Budget: 120})
+
+		lr := legacy.RunSlot()
+		sr := specAgg.RunSlot()
+		requireIdentical(t, slot, snapshot(lr), snapshot(sr))
+	}
+}
+
+// TestSubmitSpecGoldenEquivalenceRegionMonitoring covers the eighth kind
+// on the GP-model world it requires.
+func TestSubmitSpecGoldenEquivalenceRegionMonitoring(t *testing.T) {
+	const seed, slots = 5, 6
+	legacyWorld := NewIntelLabWorld(seed, SensorConfig{})
+	specWorld := NewIntelLabWorld(seed, SensorConfig{})
+	legacy := NewAggregator(legacyWorld)
+	specAgg := NewAggregator(specWorld)
+
+	if _, err := legacy.SubmitRegionMonitoring("rm", NewRect(1, 1, 15, 12), slots, 200); err != nil {
+		t.Fatalf("legacy submit: %v", err)
+	}
+	if _, err := specAgg.Submit(RegionMonitoringSpec{ID: "rm", Region: NewRect(1, 1, 15, 12), Duration: slots, Budget: 200}); err != nil {
+		t.Fatalf("spec submit: %v", err)
+	}
+	for slot := 0; slot < slots; slot++ {
+		// A little point demand so sensors get shared.
+		id := fmt.Sprintf("pt-%d", slot)
+		legacy.SubmitPoint(id, Pt(10, 8), 15)
+		if _, err := specAgg.Submit(PointSpec{ID: id, Loc: Pt(10, 8), Budget: 15}); err != nil {
+			t.Fatalf("spec point submit: %v", err)
+		}
+		requireIdentical(t, slot, snapshot(legacy.RunSlot()), snapshot(specAgg.RunSlot()))
+	}
+}
+
+// TestSubmittedQueryMetadata: Submit reports kind, window and the
+// concrete underlying query.
+func TestSubmittedQueryMetadata(t *testing.T) {
+	world := NewRWMWorld(2, 50, SensorConfig{})
+	agg := NewAggregator(world)
+
+	sq, err := agg.Submit(PointSpec{ID: "p", Loc: Pt(30, 30), Budget: 10})
+	if err != nil {
+		t.Fatalf("submit point: %v", err)
+	}
+	if sq.ID != "p" || sq.Kind != KindPoint || sq.Start != sq.End || sq.Start != agg.NextSlot() {
+		t.Errorf("point SubmittedQuery = %+v", sq)
+	}
+	if _, ok := sq.Underlying().(*PointQuery); !ok {
+		t.Errorf("point Underlying = %T", sq.Underlying())
+	}
+
+	sq, err = agg.Submit(LocationMonitoringSpec{ID: "lm", Loc: Pt(30, 30), Duration: 7, Budget: 100, Samples: 3})
+	if err != nil {
+		t.Fatalf("submit locmon: %v", err)
+	}
+	if sq.Kind != KindLocationMonitoring || sq.End-sq.Start != 6 {
+		t.Errorf("locmon SubmittedQuery = %+v, want a 7-slot window", sq)
+	}
+	lm, ok := sq.Underlying().(*LocationMonitoringQuery)
+	if !ok || lm.Start != sq.Start || lm.End != sq.End {
+		t.Errorf("locmon Underlying = %#v vs %+v", lm, sq)
+	}
+
+	// Nil specs — untyped or typed-nil pointers — are refused, not
+	// dereferenced.
+	if _, err := agg.Submit(nil); err == nil {
+		t.Error("Submit(nil) succeeded")
+	}
+	var typedNil *PointSpec
+	if _, err := agg.Submit(typedNil); err == nil {
+		t.Error("Submit(typed nil) succeeded")
+	}
+
+	// Pointer specs are a sanctioned form (value-receiver methods
+	// promote); they materialize like their value counterparts.
+	sq, err = agg.Submit(&PointSpec{ID: "pp", Loc: Pt(30, 30), Budget: 10})
+	if err != nil || sq.Kind != KindPoint {
+		t.Errorf("Submit(*PointSpec) = %+v, %v", sq, err)
+	}
+}
+
+// TestSlotReportOutcomes: the bulk iterator agrees with the per-id
+// getters and covers answered-but-zero-value continuous queries.
+func TestSlotReportOutcomes(t *testing.T) {
+	world := NewRWMWorld(3, 200, SensorConfig{})
+	agg := NewAggregator(world)
+	if _, err := agg.Submit(LocationMonitoringSpec{ID: "lm", Loc: Pt(30, 30), Duration: 4, Budget: 120, Samples: 2}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := agg.Submit(PointSpec{ID: fmt.Sprintf("p%d", i), Loc: Pt(30+float64(i), 30), Budget: 20}); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	rep := agg.RunSlot()
+
+	got := map[string]QueryOutcome{}
+	for id, o := range rep.Outcomes() {
+		if _, dup := got[id]; dup {
+			t.Errorf("Outcomes yielded %q twice", id)
+		}
+		if strings.Contains(id, "@t") {
+			t.Errorf("Outcomes leaked derived probe ID %q; continuous work must appear under the parent ID only", id)
+		}
+		got[id] = o
+	}
+	if len(got) == 0 {
+		t.Fatal("Outcomes yielded nothing on a dense slot")
+	}
+	for id, o := range got {
+		if o.Answered != rep.Answered(id) || o.Value != rep.Value(id) || o.Payment != rep.Payment(id) {
+			t.Errorf("outcome %q = %+v disagrees with getters (%v, %v, %v)",
+				id, o, rep.Answered(id), rep.Value(id), rep.Payment(id))
+		}
+	}
+	// Early break must not panic or leak.
+	for range rep.Outcomes() {
+		break
+	}
+}

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	ps "repro"
+)
+
+// allKindSpecs is one representative spec per query kind.
+func allKindSpecs() []ps.Spec {
+	return []ps.Spec{
+		ps.PointSpec{ID: "p1", Loc: ps.Pt(30, 30), Budget: 15},
+		ps.MultiPointSpec{ID: "mp1", Loc: ps.Pt(12.5, -3), Budget: 80, K: 4},
+		ps.AggregateSpec{ID: "ag1", Region: ps.NewRect(20, 20, 45, 45), Budget: 300},
+		ps.TrajectorySpec{
+			ID:     "tr1",
+			Path:   ps.Trajectory{Waypoints: []ps.Point{ps.Pt(0, 0), ps.Pt(10, 5), ps.Pt(12, 20)}},
+			Budget: 150,
+		},
+		ps.LocationMonitoringSpec{ID: "lm1", Loc: ps.Pt(30, 30), Duration: 20, Budget: 120, Samples: 6},
+		ps.RegionMonitoringSpec{ID: "rm1", Region: ps.NewRect(1, 1, 19, 14), Duration: 25, Budget: 300},
+		ps.EventDetectionSpec{
+			ID: "ev1", Loc: ps.Pt(16, 12), Duration: 25,
+			Threshold: -2.5, Confidence: 0.5, BudgetPerSlot: 40,
+		},
+		ps.RegionEventSpec{
+			ID: "re1", Region: ps.NewRect(10, 1, 19, 14), Duration: 25,
+			Threshold: 19.5, Confidence: 0.5, BudgetPerSlot: 120,
+		},
+	}
+}
+
+// TestRoundTripAllKinds: spec -> v1 envelope JSON -> spec is the identity
+// for every query kind.
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, spec := range allKindSpecs() {
+		t.Run(spec.Kind().String(), func(t *testing.T) {
+			data, err := MarshalSpec(spec)
+			if err != nil {
+				t.Fatalf("MarshalSpec: %v", err)
+			}
+			var env Envelope
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatalf("unmarshal envelope: %v", err)
+			}
+			if env.V != Version {
+				t.Errorf("envelope v = %d, want %d", env.V, Version)
+			}
+			if env.Type != spec.Kind().String() {
+				t.Errorf("envelope type = %q, want %q", env.Type, spec.Kind())
+			}
+			back, err := UnmarshalSpec(data)
+			if err != nil {
+				t.Fatalf("UnmarshalSpec: %v", err)
+			}
+			if !reflect.DeepEqual(back, spec) {
+				t.Errorf("round trip mismatch:\n got  %#v\n want %#v", back, spec)
+			}
+		})
+	}
+}
+
+// TestLegacyBodiesDecode: pre-envelope psserve bodies (no "v") decode to
+// the same specs as their v1 counterparts.
+func TestLegacyBodiesDecode(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want ps.Spec
+	}{
+		{
+			name: "point",
+			body: `{"type":"point","id":"p1","loc":{"x":30,"y":30},"budget":15}`,
+			want: ps.PointSpec{ID: "p1", Loc: ps.Pt(30, 30), Budget: 15},
+		},
+		{
+			name: "multipoint default k",
+			body: `{"type":"multipoint","id":"mp1","loc":{"x":1,"y":2},"budget":60}`,
+			want: ps.MultiPointSpec{ID: "mp1", Loc: ps.Pt(1, 2), Budget: 60},
+		},
+		{
+			name: "aggregate",
+			body: `{"type":"aggregate","id":"a1","region":{"x0":20,"y0":20,"x1":45,"y1":45},"budget":300}`,
+			want: ps.AggregateSpec{ID: "a1", Region: ps.NewRect(20, 20, 45, 45), Budget: 300},
+		},
+		{
+			name: "locmon",
+			body: `{"type":"locmon","id":"lm1","loc":{"x":30,"y":30},"budget":120,"duration":20,"samples":5}`,
+			want: ps.LocationMonitoringSpec{ID: "lm1", Loc: ps.Pt(30, 30), Duration: 20, Budget: 120, Samples: 5},
+		},
+		{
+			name: "event",
+			body: `{"type":"event","id":"e1","loc":{"x":5,"y":6},"duration":10,"threshold":0.7,"confidence":0.8,"budget_per_slot":40}`,
+			want: ps.EventDetectionSpec{ID: "e1", Loc: ps.Pt(5, 6), Duration: 10, Threshold: 0.7, Confidence: 0.8, BudgetPerSlot: 40},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := UnmarshalSpec([]byte(tc.body))
+			if err != nil {
+				t.Fatalf("UnmarshalSpec: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %#v, want %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEnvelopeErrors: malformed envelopes fail decoding with a telling
+// message instead of producing a broken spec.
+func TestEnvelopeErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		body    string
+		wantErr string
+	}{
+		{"bad JSON", `{"type":`, "bad JSON"},
+		{"future version", `{"v":2,"type":"point","loc":{"x":1,"y":1}}`, "unsupported envelope version 2"},
+		{"unknown type", `{"v":1,"type":"nonsense"}`, `unknown query type "nonsense"`},
+		{"missing type", `{"v":1,"budget":10}`, "unknown query type"},
+		{"point without loc", `{"v":1,"type":"point","budget":10}`, `needs "loc"`},
+		{"aggregate without region", `{"v":1,"type":"aggregate","budget":10}`, `needs "region"`},
+		{"regionevent without region", `{"v":1,"type":"regionevent","duration":5}`, `needs "region"`},
+		{"trajectory one waypoint", `{"v":1,"type":"trajectory","path":[{"x":1,"y":1}]}`, ">= 2 waypoints"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := UnmarshalSpec([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("UnmarshalSpec(%s) succeeded, want error containing %q", tc.body, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestErrorBodyRoundTrip: the error envelope used by every non-2xx
+// response round-trips.
+func TestErrorBodyRoundTrip(t *testing.T) {
+	data, err := json.Marshal(ErrorBody{Error: "query \"q1\" already exists"})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back ErrorBody
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Error != "query \"q1\" already exists" {
+		t.Errorf("round trip = %q", back.Error)
+	}
+}
+
+// TestResultFromSlot: subscription results convert losslessly, including
+// nested event evaluations.
+func TestResultFromSlot(t *testing.T) {
+	r := ps.SlotResult{
+		Slot: 7, Answered: true, Value: 12.5, Payment: 3.25, Final: true,
+		Events: []ps.EventNotification{
+			{QueryID: "ev1", Slot: 7, Detected: true, Confidence: 0.9, Reading: 21.5},
+		},
+	}
+	got := ResultFromSlot(r)
+	want := Result{
+		Slot: 7, Answered: true, Value: 12.5, Payment: 3.25, Final: true,
+		Events: []Event{{Slot: 7, Detected: true, Confidence: 0.9, Reading: 21.5}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ResultFromSlot = %+v, want %+v", got, want)
+	}
+}
+
+// TestFromSpecAcceptsPointerSpecs: pointer specs satisfy ps.Spec (the
+// local transports accept them), so the codec must encode them too.
+func TestFromSpecAcceptsPointerSpecs(t *testing.T) {
+	spec := ps.PointSpec{ID: "p1", Loc: ps.Pt(30, 30), Budget: 15}
+	data, err := MarshalSpec(&spec)
+	if err != nil {
+		t.Fatalf("MarshalSpec(pointer): %v", err)
+	}
+	back, err := UnmarshalSpec(data)
+	if err != nil {
+		t.Fatalf("UnmarshalSpec: %v", err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Errorf("pointer round trip = %#v, want %#v", back, spec)
+	}
+	lm := ps.LocationMonitoringSpec{ID: "lm", Loc: ps.Pt(1, 2), Duration: 5, Budget: 100, Samples: 3}
+	if env, err := FromSpec(&lm); err != nil || env.Type != "locmon" {
+		t.Errorf("FromSpec(*LocationMonitoringSpec) = %+v, %v", env, err)
+	}
+}
+
+// TestFromSpecRejectsNil guards the encoder against nil specs, both
+// untyped and typed-nil pointers.
+func TestFromSpecRejectsNil(t *testing.T) {
+	if _, err := FromSpec(nil); err == nil {
+		t.Error("FromSpec(nil) succeeded")
+	}
+	if _, err := MarshalSpec(nil); err == nil {
+		t.Error("MarshalSpec(nil) succeeded")
+	}
+	var typedNil *ps.PointSpec
+	if _, err := FromSpec(typedNil); err == nil {
+		t.Error("FromSpec(typed nil) succeeded")
+	}
+}
