@@ -3,9 +3,11 @@ package ps
 import (
 	"iter"
 	"slices"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/query"
+	"repro/internal/sensornet"
 )
 
 // Aggregator is the server of §2: it collects queries, and once per time
@@ -240,6 +242,10 @@ type SlotReport struct {
 	// pipelines that bypass the greedy core, e.g. baseline or pure point
 	// slots under a non-greedy scheduling policy).
 	Selection SelectionStats
+	// Shards is the per-shard breakdown when the slot ran on a
+	// ShardedAggregator (the last entry is the spanning pass); nil on the
+	// unsharded pipeline.
+	Shards []ShardStats
 
 	values   map[string]float64
 	payments map[string]float64
@@ -316,6 +322,38 @@ func (r *SlotReport) Outcomes() iter.Seq2[string, QueryOutcome] {
 func (a *Aggregator) RunSlot() *SlotReport {
 	offers := a.world.Fleet.Step()
 	t := a.world.Fleet.Slot()
+	ex := a.executeSlot(t, offers, false)
+	a.world.Fleet.Commit(ex.selected)
+	if ex.point != nil {
+		a.ledger.RecordPointResult(ex.point)
+	} else {
+		a.ledger.RecordMixResult(ex.mix)
+	}
+	a.selStats.Accumulate(ex.report.Selection)
+	a.retire(t)
+	return ex.report
+}
+
+// slotExec is one executed selection pass over a batch of offers: the
+// report fragment plus what the caller still has to do afterwards — data
+// acquisition (Fleet.Commit on selected) and accounting (ledger). It is
+// the seam between the single-world RunSlot and the sharded execution
+// layer, which runs one executeSlot per shard and reconciles.
+type slotExec struct {
+	report   *SlotReport
+	selected []*sensornet.Sensor
+	// queries counts the queries this pass scheduled (user one-shots,
+	// active continuous queries and their generated probes).
+	queries int
+	mix     *core.MixSlotResult // nil on the point-scheduling path
+	point   *core.PointResult   // nil on the mix path
+}
+
+// executeSlot runs slot t's selection over the given offers without
+// touching the fleet, the ledger or the pending-query lists. forceMix
+// routes even pure-point slots through the Algorithm 5 greedy pipeline —
+// the sharded layer needs every shard on the same (decomposable) path.
+func (a *Aggregator) executeSlot(t int, offers []core.Offer, forceMix bool) *slotExec {
 	report := &SlotReport{
 		Slot:     t,
 		Offers:   len(offers),
@@ -323,6 +361,7 @@ func (a *Aggregator) RunSlot() *SlotReport {
 		payments: make(map[string]float64),
 		answered: make(map[string]bool),
 	}
+	ex := &slotExec{report: report}
 
 	// Materialize event-detection probes.
 	probes := make(map[string]*EventDetectionQuery)
@@ -341,14 +380,17 @@ func (a *Aggregator) RunSlot() *SlotReport {
 		}
 	}
 
-	pureMix := len(a.aggs) > 0 || len(extra) > 0 ||
-		len(activeLocMon(a.locMon, t)) > 0 || len(activeRegMon(a.regMon, t)) > 0
+	activeLM := activeLocMon(a.locMon, t)
+	activeRM := activeRegMon(a.regMon, t)
+	ex.queries = len(a.points) + len(a.aggs) + len(extra) + len(activeLM) + len(activeRM)
+	pureMix := forceMix || len(a.aggs) > 0 || len(extra) > 0 ||
+		len(activeLM) > 0 || len(activeRM) > 0
 
 	if !pureMix {
 		// Point-only slot: honor the configured scheduling policy.
 		res := a.sched.solver(a.greedy)(a.points, offers)
-		a.world.Fleet.Commit(res.Selected)
-		a.ledger.RecordPointResult(res)
+		ex.point = res
+		ex.selected = res.Selected
 		report.Welfare = res.Welfare()
 		report.TotalCost = res.TotalCost
 		report.SensorsUsed = len(res.Selected)
@@ -372,8 +414,8 @@ func (a *Aggregator) RunSlot() *SlotReport {
 		} else {
 			res = core.RunMixSlotWith(t, mq, offers, a.greedy)
 		}
-		a.world.Fleet.Commit(res.Multi.Selected)
-		a.ledger.RecordMixResult(res)
+		ex.mix = res
+		ex.selected = res.Multi.Selected
 		report.Selection = res.Multi.Stats
 		report.Welfare = res.Welfare()
 		report.TotalCost = res.TotalCost
@@ -482,9 +524,43 @@ func (a *Aggregator) RunSlot() *SlotReport {
 		}
 	}
 
-	a.selStats.Accumulate(report.Selection)
+	// The probe maps above iterate in map order; fix the event order so
+	// reports are deterministic (and so the sharded merge has a canonical
+	// order to preserve). Each event query emits at most one notification
+	// per slot, so sorting by query ID is a total order.
+	slices.SortFunc(report.Events, func(a, b EventNotification) int {
+		return strings.Compare(a.QueryID, b.QueryID)
+	})
+	return ex
+}
 
-	// One-shot queries are consumed; expired continuous queries retire.
+// pendingWork reports whether the aggregator has anything to schedule at
+// slot t: pending one-shots, or continuous queries active at t. The
+// sharded layer uses it to skip the spanning pass on slots with no
+// cross-shard demand.
+func (a *Aggregator) pendingWork(t int) bool {
+	if len(a.points) > 0 || len(a.aggs) > 0 || len(a.extra) > 0 {
+		return true
+	}
+	if len(activeLocMon(a.locMon, t)) > 0 || len(activeRegMon(a.regMon, t)) > 0 {
+		return true
+	}
+	for _, e := range a.events {
+		if e.Active(t) {
+			return true
+		}
+	}
+	for _, e := range a.regEvents {
+		if e.Active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// retire consumes the slot's one-shot queries and drops expired
+// continuous queries after slot t executed.
+func (a *Aggregator) retire(t int) {
 	a.points = nil
 	a.aggs = nil
 	a.extra = nil
@@ -492,7 +568,6 @@ func (a *Aggregator) RunSlot() *SlotReport {
 	a.regMon = pruneRegMon(a.regMon, t)
 	a.events = pruneEvents(a.events, t)
 	a.regEvents = pruneRegionEvents(a.regEvents, t)
-	return report
 }
 
 func activeLocMon(qs []*LocationMonitoringQuery, t int) []*LocationMonitoringQuery {

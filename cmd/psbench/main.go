@@ -46,8 +46,9 @@ func main() {
 		list    = flag.Bool("list", false, "list available figure IDs")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 
-		scenarioF   = flag.String("scenario", "", "run a named perf scenario (dense-urban, sparse-rural, bursty-arrival, continuous-heavy, or 'all') instead of figures")
+		scenarioF   = flag.String("scenario", "", "run a named perf scenario (dense-urban, sparse-rural, bursty-arrival, continuous-heavy, sharded-metro, or 'all') instead of figures")
 		strategy    = flag.String("strategy", "lazy", "scenario mode: selection strategy (auto, serial, sharded, lazy, lazy-sharded)")
+		shardsF     = flag.Int("shards", 0, "scenario mode: override the scenario's geographic shard count (0 = scenario default; >1 runs the geo-sharded layer)")
 		jsonOut     = flag.Bool("json", false, "scenario mode: write machine-readable BENCH_<scenario>.json files")
 		outDir      = flag.String("out", ".", "scenario mode: output directory for BENCH_*.json")
 		baselineDir = flag.String("baseline", "", "scenario mode: compare against BENCH_*.json in this directory; exit 1 on >2x normalized slot-latency regression")
@@ -62,7 +63,7 @@ func main() {
 	flag.Parse()
 
 	if *scenarioF != "" {
-		os.Exit(runScenarioMode(*scenarioF, *strategy, *slots, *seed, *jsonOut, *outDir, *baselineDir))
+		os.Exit(runScenarioMode(*scenarioF, *strategy, *slots, *seed, *shardsF, *jsonOut, *outDir, *baselineDir))
 	}
 
 	if *engineMode {

@@ -35,17 +35,32 @@ type scenario struct {
 	Seed    int64
 	Sensors int
 	Slots   int
+	// Shards > 1 runs the scenario on the geo-sharded execution layer.
+	// Scenario mode then also runs the unsharded configuration first and
+	// gates on the p50 slot-latency speedup (minShardedSpeedup).
+	Shards int
+	// Strategy pins the selection strategy for this scenario regardless
+	// of the -strategy flag ("" = honor the flag). Sharded scenarios pin
+	// it so the speedup compares identical per-shard algorithms.
+	Strategy string
 	// setup submits long-lived (continuous) queries before slot 0.
 	setup func(r *scenarioRun)
 	// slot submits one slot's one-shot queries.
 	slot func(r *scenarioRun, t int)
 }
 
+// slotBackend is the execution surface a scenario drives: the unsharded
+// ps.Aggregator or the geo-sharded ps.ShardedAggregator.
+type slotBackend interface {
+	Submit(ps.Spec) (ps.SubmittedQuery, error)
+	RunSlot() *ps.SlotReport
+}
+
 // scenarioRun is the mutable state while a scenario executes.
 type scenarioRun struct {
 	sc         scenario
 	world      *ps.World
-	agg        *ps.Aggregator
+	agg        slotBackend
 	rnd        *rng.Stream
 	oneShots   []string // IDs submitted for the current slot
 	continuous []string // IDs of live continuous queries
@@ -94,6 +109,35 @@ func (r *scenarioRun) aggregate(t, i int, budget, minDim, maxDim float64) {
 	w := r.world.Working
 	x := r.rnd.Uniform(w.MinX, w.MaxX-maxDim)
 	y := r.rnd.Uniform(w.MinY, w.MaxY-maxDim)
+	r.submit(ps.AggregateSpec{
+		ID:     r.id("agg", t, i),
+		Region: ps.NewRect(x, y, x+r.rnd.Uniform(minDim, maxDim), y+r.rnd.Uniform(minDim, maxDim)),
+		Budget: budget,
+	}, true)
+}
+
+// pointIn submits a point query placed inside box (sharded-metro keeps
+// demand shard-resident by drawing from each shard's interior).
+func (r *scenarioRun) pointIn(box ps.Rect, t, i int, budget float64) {
+	r.submit(ps.PointSpec{
+		ID:     r.id("pt", t, i),
+		Loc:    ps.Pt(r.rnd.Uniform(box.MinX, box.MaxX), r.rnd.Uniform(box.MinY, box.MaxY)),
+		Budget: budget,
+	}, true)
+}
+
+func (r *scenarioRun) multiPointIn(box ps.Rect, t, i int, budget float64, k int) {
+	r.submit(ps.MultiPointSpec{
+		ID:     r.id("mp", t, i),
+		Loc:    ps.Pt(r.rnd.Uniform(box.MinX, box.MaxX), r.rnd.Uniform(box.MinY, box.MaxY)),
+		Budget: budget,
+		K:      k,
+	}, true)
+}
+
+func (r *scenarioRun) aggregateIn(box ps.Rect, t, i int, budget, minDim, maxDim float64) {
+	x := r.rnd.Uniform(box.MinX, box.MaxX-maxDim)
+	y := r.rnd.Uniform(box.MinY, box.MaxY-maxDim)
 	r.submit(ps.AggregateSpec{
 		ID:     r.id("agg", t, i),
 		Region: ps.NewRect(x, y, x+r.rnd.Uniform(minDim, maxDim), y+r.rnd.Uniform(minDim, maxDim)),
@@ -166,6 +210,54 @@ var scenarios = []scenario{
 			for i := 0; i < aggs; i++ {
 				r.aggregate(t, i, 200+r.rnd.Uniform(0, 200), 10, 25)
 			}
+		},
+	},
+	{
+		Name: "sharded-metro",
+		Desc: "40k-sensor dense city on 4 geographic shards: quadrant-local points, k-redundancy multipoints and aggregates, plus a little cross-shard demand for the spanning pass",
+		Seed: 15,
+		// 40k sensors and ~2k queries/slot make the per-round candidate
+		// scan of the greedy core the bottleneck; the 4-way partition cuts
+		// that scan ~4x serially, plus shard parallelism on multi-core
+		// machines. The strategy is pinned so the gate always compares the
+		// same per-shard algorithm sharded vs unsharded.
+		Sensors:  40_000,
+		Slots:    4,
+		Shards:   4,
+		Strategy: "serial",
+		slot: func(r *scenarioRun, t int) {
+			// Interior boxes of the four shards of the RWM working region
+			// (15..65, split at 40), inset by dmax+1 so every footprint is
+			// shard-resident.
+			quads := []ps.Rect{
+				ps.NewRect(21, 21, 34, 34),
+				ps.NewRect(46, 21, 59, 34),
+				ps.NewRect(21, 46, 34, 59),
+				ps.NewRect(46, 46, 59, 59),
+			}
+			for q, box := range quads {
+				for i := 0; i < 500; i++ {
+					r.pointIn(box, t, q*1000+i, 8+r.rnd.Uniform(0, 6))
+				}
+				for i := 0; i < 6; i++ {
+					r.multiPointIn(box, t, q*1000+i, 100+r.rnd.Uniform(0, 150), 6)
+				}
+				for i := 0; i < 2; i++ {
+					r.aggregateIn(box, t, q*1000+i, 250+r.rnd.Uniform(0, 200), 6, 10)
+				}
+			}
+			// Cross-shard tail: one center aggregate and one border-crossing
+			// trajectory exercise the spanning pass every slot.
+			r.submit(ps.AggregateSpec{
+				ID:     r.id("span-agg", t, 0),
+				Region: ps.NewRect(32, 32, 48, 48),
+				Budget: 400,
+			}, true)
+			r.submit(ps.TrajectorySpec{
+				ID:     r.id("span-tr", t, 0),
+				Path:   ps.Trajectory{Waypoints: []ps.Point{ps.Pt(25, 42), ps.Pt(55, 42)}},
+				Budget: 150,
+			}, true)
 		},
 	},
 	{
@@ -242,12 +334,18 @@ type benchResult struct {
 	Seed        int64   `json:"seed"`
 	Sensors     int     `json:"sensors"`
 	Slots       int     `json:"slots"`
+	Shards      int     `json:"shards"`
 	Submitted   int     `json:"queries_submitted"`
 	Answered    int     `json:"query_slots_answered"`
 	SlotMsP50   float64 `json:"slot_ms_p50"`
 	SlotMsP95   float64 `json:"slot_ms_p95"`
 	SlotMsMax   float64 `json:"slot_ms_max"`
 	SlotMsMean  float64 `json:"slot_ms_mean"`
+	// Sharded scenarios also record the same-machine unsharded run they
+	// were gated against: the speedup is a work ratio, so unlike raw
+	// latencies it transfers across machines.
+	UnshardedP50Ms float64 `json:"unsharded_p50_ms,omitempty"`
+	SpeedupP50     float64 `json:"speedup_p50,omitempty"`
 	// CalibrationMs is the wall time of a fixed single-core CPU loop on
 	// this machine; latency gates compare p50/calibration ratios so the
 	// baseline transfers across machines.
@@ -282,21 +380,28 @@ func calibrate() float64 {
 	return float64(time.Since(start).Nanoseconds()) / 1e6
 }
 
-// runScenario executes one scenario with the given strategy and returns
-// its record.
-func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride int64) benchResult {
+// runScenario executes one scenario with the given strategy and shard
+// count (shards <= 1 is the unsharded aggregator) and returns its record.
+func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride int64, shards int) benchResult {
 	if slotsOverride > 0 {
 		sc.Slots = slotsOverride
 	}
 	if seedOverride != 0 {
 		sc.Seed = seedOverride
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	r := &scenarioRun{
 		sc:    sc,
 		world: ps.NewRWMWorld(sc.Seed, sc.Sensors, ps.SensorConfig{}),
 		rnd:   rng.New(sc.Seed, "psbench-"+sc.Name),
 	}
-	r.agg = ps.NewAggregator(r.world, ps.WithGreedyStrategy(strat))
+	if shards > 1 {
+		r.agg = ps.NewShardedAggregator(r.world, shards, ps.WithGreedyStrategy(strat))
+	} else {
+		r.agg = ps.NewAggregator(r.world, ps.WithGreedyStrategy(strat))
+	}
 	if sc.setup != nil {
 		sc.setup(r)
 	}
@@ -355,6 +460,7 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		Seed:                    sc.Seed,
 		Sensors:                 sc.Sensors,
 		Slots:                   sc.Slots,
+		Shards:                  shards,
 		Submitted:               r.submitted,
 		Answered:                answered,
 		SlotMsP50:               pct(0.50),
@@ -379,6 +485,28 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 // maxLatencyRegression is the baseline gate: fail when the normalized
 // p50 slot latency exceeds the baseline's by more than this factor.
 const maxLatencyRegression = 2.0
+
+// minShardedSpeedup returns the p50 slot-latency speedup a sharded
+// scenario must achieve over its same-machine unsharded run. A K-way
+// partition cuts the greedy core's per-round candidate scan K-fold in
+// serial work, but the per-pair valuation work is identical on both
+// sides, so the exact 1-core asymptote of a 4-shard run is 4x — the
+// sharded-metro workload measures ~2.7-2.9x serially. Concurrent shard
+// lanes add parallel speedup on top: with all four lanes on their own
+// core (GitHub's standard 4-vCPU runners included) the 4x target of the
+// sharded execution layer is the gate; on 2-3 cores the lanes only
+// partially overlap, so the floor sits between the serial cut and the
+// full target rather than risking a spuriously red build.
+func minShardedSpeedup() float64 {
+	switch cores := runtime.GOMAXPROCS(0); {
+	case cores >= 4:
+		return 4.0
+	case cores >= 2:
+		return 3.0
+	default:
+		return 2.4
+	}
+}
 
 // checkBaseline compares a run against bench/<BENCH_name.json>. It
 // returns an error string ("" if fine) and whether a baseline existed.
@@ -410,8 +538,10 @@ func benchFileName(scenario string) string {
 }
 
 // runScenarioMode is the -scenario entry point; it returns the process
-// exit code.
-func runScenarioMode(names string, strategy string, slots int, seed int64, emitJSON bool, outDir, baselineDir string) int {
+// exit code. shardsFlag > 0 overrides every selected scenario's shard
+// count (and disables the sharded-speedup gate, which is pinned to the
+// scenarios' declared configurations).
+func runScenarioMode(names string, strategy string, slots int, seed int64, shardsFlag int, emitJSON bool, outDir, baselineDir string) int {
 	strat, err := ps.ParseStrategy(strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psbench:", err)
@@ -436,9 +566,33 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, emitJ
 	exit := 0
 	for _, sc := range selected {
 		start := time.Now()
-		res := runScenario(sc, strat, slots, seed)
-		fmt.Printf("== %s (%d sensors, %d slots, strategy %s) — %s\n",
-			res.Scenario, res.Sensors, res.Slots, res.Strategy, sc.Desc)
+		scStrat := strat
+		if sc.Strategy != "" {
+			if scStrat, err = ps.ParseStrategy(sc.Strategy); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				return 2
+			}
+		}
+		shards := sc.Shards
+		gateSpeedup := sc.Shards > 1 && shardsFlag == 0
+		if shardsFlag > 0 {
+			shards = shardsFlag
+		}
+		var res benchResult
+		if shards > 1 {
+			// Sharded scenario: run the unsharded configuration first on the
+			// same machine so the speedup is a pure work ratio.
+			base := runScenario(sc, scStrat, slots, seed, 1)
+			res = runScenario(sc, scStrat, slots, seed, shards)
+			res.UnshardedP50Ms = base.SlotMsP50
+			if res.SlotMsP50 > 0 {
+				res.SpeedupP50 = base.SlotMsP50 / res.SlotMsP50
+			}
+		} else {
+			res = runScenario(sc, scStrat, slots, seed, 1)
+		}
+		fmt.Printf("== %s (%d sensors, %d slots, %d shard(s), strategy %s) — %s\n",
+			res.Scenario, res.Sensors, res.Slots, res.Shards, res.Strategy, sc.Desc)
 		fmt.Printf("%-26s p50 %.2fms  p95 %.2fms  max %.2fms  mean %.2fms\n",
 			"slot latency:", res.SlotMsP50, res.SlotMsP95, res.SlotMsMax, res.SlotMsMean)
 		fmt.Printf("%-26s %d made, %d exhaustive-equivalent (%d saved)\n",
@@ -449,6 +603,15 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, emitJ
 			"outcome:", res.Welfare, res.TotalCost, res.Answered, res.Submitted)
 		fmt.Printf("%-26s %d allocs, %.1f MB\n",
 			"allocations:", res.Allocs, float64(res.AllocBytes)/(1<<20))
+		if res.SpeedupP50 > 0 {
+			fmt.Printf("%-26s %.2fx p50 vs unsharded (%.2fms -> %.2fms)\n",
+				"sharded speedup:", res.SpeedupP50, res.UnshardedP50Ms, res.SlotMsP50)
+			if want := minShardedSpeedup(); gateSpeedup && res.SpeedupP50 < want {
+				fmt.Fprintf(os.Stderr, "psbench: REGRESSION %s: sharded p50 speedup %.2fx below the required %.1fx (%d CPUs)\n",
+					res.Scenario, res.SpeedupP50, want, runtime.GOMAXPROCS(0))
+				exit = 1
+			}
+		}
 
 		if emitJSON {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {

@@ -40,6 +40,7 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "slot clock interval")
 		sched    = flag.String("sched", "optimal", "scheduling: optimal, localsearch, baseline, egalitarian or greedy")
 		strategy = flag.String("strategy", "auto", "greedy selection strategy: auto, serial, sharded, lazy or lazy-sharded")
+		shards   = flag.Int("shards", 1, "geographic shards; >1 serves slots through the geo-sharded execution layer (greedy pipeline, -sched ignored)")
 		queue    = flag.Int("queue", 1024, "ingest queue size")
 		drain    = flag.Int("drain", 64, "max slots run at shutdown to drain continuous queries")
 		retain   = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable (0 = evict at the next sweep)")
@@ -62,12 +63,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng := ps.NewEngine(
-		ps.NewAggregator(w, ps.WithScheduling(policy), ps.WithGreedyStrategy(strat)),
+	engineOpts := []ps.EngineOption{
 		ps.WithSlotInterval(*interval),
 		ps.WithQueueSize(*queue),
 		ps.WithDrainSlots(*drain),
-	)
+	}
+	var eng *ps.Engine
+	if *shards > 1 {
+		// The sharded layer always runs the greedy Algorithm 5 pipeline;
+		// an explicitly chosen -sched would be silently ignored, so refuse
+		// the combination instead of serving misleading comparison data.
+		schedSet := false
+		flag.Visit(func(f *flag.Flag) { schedSet = schedSet || f.Name == "sched" })
+		if schedSet {
+			fmt.Fprintf(os.Stderr, "psserve: -sched %s cannot be combined with -shards %d: the geo-sharded layer always uses the greedy pipeline\n", *sched, *shards)
+			os.Exit(2)
+		}
+		eng = ps.NewShardedEngine(
+			ps.NewShardedAggregator(w, *shards, ps.WithGreedyStrategy(strat)),
+			engineOpts...,
+		)
+	} else {
+		eng = ps.NewEngine(
+			ps.NewAggregator(w, ps.WithScheduling(policy), ps.WithGreedyStrategy(strat)),
+			engineOpts...,
+		)
+	}
 	eng.Start()
 
 	// The flag keeps its historical meaning: 0 evicts finished records at
@@ -79,8 +100,8 @@ func main() {
 	}).Handler()
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
-		log.Printf("psserve: serving %s world (%d sensors) on %s, slot every %v, strategy %s",
-			*world, *sensors, *addr, *interval, strat)
+		log.Printf("psserve: serving %s world (%d sensors) on %s, slot every %v, strategy %s, %d shard(s)",
+			*world, *sensors, *addr, *interval, strat, *shards)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("psserve: %v", err)
 		}

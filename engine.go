@@ -135,6 +135,10 @@ type EngineMetrics struct {
 	LazyReevaluations       int64
 	SubmodularityViolations int64
 	FallbackRescans         int64
+	// Shards is the cumulative per-shard breakdown when the engine drives
+	// a ShardedAggregator (the last entry is the spanning pass); nil on an
+	// unsharded engine.
+	Shards []ShardStats
 	// Ingest queue occupancy and slot execution latency.
 	QueueDepth      int
 	QueueCap        int
@@ -187,14 +191,32 @@ func WithDrainSlots(n int) EngineOption {
 	return func(c *engineConfig) { c.drainSlots = n }
 }
 
+// queryRuntime is the execution backend surface the Engine drives: slot
+// execution plus the query lifecycle. Aggregator (single-world) and
+// ShardedAggregator (geo-sharded, shard.go) both satisfy it.
+type queryRuntime interface {
+	slotRunner
+	Submit(Spec) (SubmittedQuery, error)
+	materializeSpec(Spec) (SubmittedQuery, error)
+	CancelQuery(id string) bool
+	SetGreedyStrategy(Strategy)
+}
+
+// materializeSpec registers a spec without validation — the deprecated
+// lenient submission path kept for the legacy Submit* wrappers.
+func (a *Aggregator) materializeSpec(spec Spec) (SubmittedQuery, error) {
+	return spec.materialize(a)
+}
+
 // Engine is the concurrent, slot-clocked serving layer over an
-// Aggregator. Submissions from any goroutine become non-blocking enqueues
-// onto a bounded queue; a single event-loop goroutine owns the aggregator,
-// executes slots as the clock ticks, and fans each SlotReport out to the
-// per-query subscriptions. The aggregator (and its World) must not be
-// used directly once handed to an Engine.
+// Aggregator (or a geo-sharded ShardedAggregator). Submissions from any
+// goroutine become non-blocking enqueues onto a bounded queue; a single
+// event-loop goroutine owns the aggregator, executes slots as the clock
+// ticks, and fans each SlotReport out to the per-query subscriptions. The
+// aggregator (and its World) must not be used directly once handed to an
+// Engine.
 type Engine struct {
-	agg    *Aggregator
+	agg    queryRuntime
 	runner slotRunner
 	loop   *engine.Loop[*SlotReport]
 
@@ -211,6 +233,18 @@ type Engine struct {
 // NewEngine wraps an aggregator into a streaming engine. Call Start to
 // begin serving, then submit queries from any number of goroutines.
 func NewEngine(agg *Aggregator, opts ...EngineOption) *Engine {
+	return newEngine(agg, opts)
+}
+
+// NewShardedEngine wraps a geo-sharded aggregator into a streaming
+// engine: the same serving surface as NewEngine, with every slot executed
+// as concurrent per-shard passes plus cross-shard reconciliation, and
+// EngineMetrics carrying the per-shard breakdown.
+func NewShardedEngine(agg *ShardedAggregator, opts ...EngineOption) *Engine {
+	return newEngine(agg, opts)
+}
+
+func newEngine(agg queryRuntime, opts []EngineOption) *Engine {
 	cfg := engineConfig{queueSize: 1024, resultBuffer: 16, drainSlots: 64}
 	for _, o := range opts {
 		o(&cfg)
@@ -267,6 +301,7 @@ func (e *Engine) Metrics() EngineMetrics {
 	s := e.loop.Stats()
 	e.mu.Lock()
 	m := e.m
+	m.Shards = append([]ShardStats(nil), e.m.Shards...)
 	e.mu.Unlock()
 	m.Slots = s.Slots
 	m.QueueDepth = s.QueueDepth
@@ -344,7 +379,7 @@ func (e *Engine) submitSpec(spec Spec, validate bool) (*QueryHandle, error) {
 		if validate {
 			sq, err = e.agg.Submit(spec)
 		} else {
-			sq, err = spec.materialize(e.agg)
+			sq, err = e.agg.materializeSpec(spec)
 		}
 		if err != nil {
 			return 0, err
@@ -485,6 +520,18 @@ func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
 	e.m.LazyReevaluations += rep.Selection.LazyReevaluations
 	e.m.SubmodularityViolations += rep.Selection.SubmodularityViolations
 	e.m.FallbackRescans += rep.Selection.FallbackRescans
+	if len(rep.Shards) > 0 {
+		if len(e.m.Shards) != len(rep.Shards) {
+			e.m.Shards = make([]ShardStats, len(rep.Shards))
+			for i, s := range rep.Shards {
+				e.m.Shards[i].Shard = s.Shard
+				e.m.Shards[i].Spanning = s.Spanning
+			}
+		}
+		for i, s := range rep.Shards {
+			e.m.Shards[i].accumulate(s)
+		}
+	}
 	e.m.TotalWelfare += rep.Welfare
 	e.m.TotalCost += rep.TotalCost
 	e.m.TotalPayments += payments

@@ -35,6 +35,24 @@ func (o *MultiOutcome) TotalPayment() float64 {
 	return sum
 }
 
+// SelectionStep records one committed sensor of a greedy run: which offer
+// was taken, at what cost, and the net benefit it had at commit time. The
+// trace lets a sharded execution layer replay the exact interleaving a
+// single global greedy pass would have produced: per-shard traces merge by
+// (net descending, offer index ascending), the same argmax rule the scan
+// applies each round.
+type SelectionStep struct {
+	// Offer is the index of the committed offer in the run's offer slice.
+	Offer int
+	// SensorID identifies the committed sensor.
+	SensorID int
+	// Cost is the offer's announced cost.
+	Cost float64
+	// Net is the sensor's net benefit (marginal value minus cost) at the
+	// round it was committed.
+	Net float64
+}
+
 // MultiResult is the outcome of Algorithm 1 on a batch of queries.
 type MultiResult struct {
 	Selected   []*sensornet.Sensor
@@ -46,6 +64,9 @@ type MultiResult struct {
 	// States exposes the final valuation state per query ID, so callers
 	// (Algorithm 5) can continue applying results.
 	States map[string]query.State
+	// Trace lists the commits in selection order, one entry per Selected
+	// sensor (greedy strategies only; the baseline pipeline leaves it nil).
+	Trace []SelectionStep
 	// Stats instruments the selection run: how many valuation calls the
 	// chosen strategy made versus what an exhaustive version-cached scan
 	// would have made, plus the lazy heap's bookkeeping.
@@ -401,11 +422,11 @@ func (s *selection) cachedNet(si int) float64 {
 	return net
 }
 
-// commit selects sensor si: applies it to every query it freshly
-// improves, splits its cost proportionately, bumps the affected query
-// versions and removes it from the candidate pool. The caches of si must
-// be fresh (the scan or heap just evaluated them).
-func (s *selection) commit(si int) {
+// commit selects sensor si at net benefit `net`: applies it to every
+// query it freshly improves, splits its cost proportionately, bumps the
+// affected query versions and removes it from the candidate pool. The
+// caches of si must be fresh (the scan or heap just evaluated them).
+func (s *selection) commit(si int, net float64) {
 	o := s.offers[si]
 	var sumDv float64
 	for k, qi := range s.relevant[si] {
@@ -433,6 +454,9 @@ func (s *selection) commit(si int) {
 	}
 	s.remaining[si] = false
 	s.res.Selected = append(s.res.Selected, o.Sensor)
+	s.res.Trace = append(s.res.Trace, SelectionStep{
+		Offer: si, SensorID: o.Sensor.ID, Cost: o.Cost, Net: net,
+	})
 	s.res.TotalCost += o.Cost
 }
 
@@ -512,17 +536,18 @@ func (s *selection) scanSharded(workers int) (int, float64) {
 func (s *selection) exhaustiveLoop(workers int) {
 	for {
 		var bestS int
+		var bestNet float64
 		if workers > 1 {
-			bestS, _ = s.scanSharded(workers)
+			bestS, bestNet = s.scanSharded(workers)
 		} else {
 			var c evalCounters
-			bestS, _ = s.scanRange(0, len(s.offers), &c)
+			bestS, bestNet = s.scanRange(0, len(s.offers), &c)
 			s.addCounters(c)
 		}
 		if bestS == -1 {
 			break // no sensor with positive net benefit: leave the loop
 		}
-		s.commit(bestS)
+		s.commit(bestS, bestNet)
 	}
 }
 

@@ -220,7 +220,7 @@ func (s *selection) lazyLoop(sharded bool, workers int) {
 			break
 		}
 		if s.fresh(e.si) {
-			s.commit(e.si)
+			s.commit(e.si, e.net)
 			if anyVol {
 				// Volatile queries just bumped: restore exact gains for
 				// every remaining sensor they touch and re-prioritize.

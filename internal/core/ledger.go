@@ -63,8 +63,22 @@ func paymentsTo(res *PointResult, sensorID int) float64 {
 // Algorithm 5); they count as query spending on the owing side and sensor
 // earnings on the receiving side.
 func (l *Ledger) RecordMixResult(res *MixSlotResult) {
+	l.RecordMixResults(res)
+}
+
+// RecordMixResults books one slot executed as several partial mix results
+// — the sharded execution layer's per-shard passes plus its spanning pass.
+// The slot counter advances once; queries and sensors are disjoint across
+// partials of one slot, so the per-key accounting is unchanged.
+func (l *Ledger) RecordMixResults(results ...*MixSlotResult) {
 	l.init()
 	l.slots++
+	for _, res := range results {
+		l.recordMixPartial(res)
+	}
+}
+
+func (l *Ledger) recordMixPartial(res *MixSlotResult) {
 	for qid, out := range res.Multi.Outcomes {
 		l.queryPaid[qid] += out.TotalPayment()
 		l.queryValue[qid] += out.Value

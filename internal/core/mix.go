@@ -9,6 +9,13 @@ import (
 	"repro/internal/sensornet"
 )
 
+// RegionProbeDMax is the sensing reach of the point probes Algorithm 4
+// generates for region monitoring: each probe asks for a reading at a
+// planned sensor's position and accepts any sensor within this distance.
+// The sharded execution layer pads region-monitoring footprints by it
+// (ps.RegionMonitoringSpec), so routing and probe relevance must agree.
+const RegionProbeDMax = 1.5
+
 // MixQueries is the per-slot input of Algorithm 5: the available queries
 // of each type plus the slot's sensor offers.
 type MixQueries struct {
@@ -157,7 +164,7 @@ func RunMixSlotWith(t int, qs MixQueries, offers []Offer, cfg GreedyConfig) *Mix
 			if marginal <= 0 {
 				continue
 			}
-			p := query.NewPoint(query.PointID(q.ID, t, "s"+strconv.Itoa(pset[i].ID)), pset[i].Pos, marginal, 1.5)
+			p := query.NewPoint(query.PointID(q.ID, t, "s"+strconv.Itoa(pset[i].ID)), pset[i].Pos, marginal, RegionProbeDMax)
 			p.ThetaMin = 0.01
 			generated = append(generated, p)
 			plan.pointIDs = append(plan.pointIDs, p.QID())

@@ -155,7 +155,7 @@ func RunRegionMonitoringSlot(t int, queries []*query.RegionMonitoring, offers []
 			if marginal <= 0 {
 				continue
 			}
-			p := query.NewPoint(query.PointID(q.ID, t, "s"+strconv.Itoa(pset[i].ID)), pset[i].Pos, marginal, 1.5)
+			p := query.NewPoint(query.PointID(q.ID, t, "s"+strconv.Itoa(pset[i].ID)), pset[i].Pos, marginal, RegionProbeDMax)
 			p.ThetaMin = 0.01
 			pts = append(pts, p)
 			plan.pointIDs = append(plan.pointIDs, p.QID())

@@ -83,6 +83,16 @@ func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
 // Pt is shorthand for a Point.
 func Pt(x, y float64) Point { return geo.Pt(x, y) }
 
+// NewGridPartition builds a K-shard geographic partition of a rectangle —
+// the routing structure of the sharded execution layer (see
+// ShardedAggregator in shard.go). NewShardedAggregator builds one over
+// the world's working region automatically; this constructor is for
+// callers that want to inspect routing (GridPartition.ShardOf/ShardsOf)
+// up front.
+func NewGridPartition(bounds Rect, shards int) GridPartition {
+	return geo.NewGridPartition(bounds, shards)
+}
+
 // NewRect builds a rectangle from two opposite corners in any order.
 func NewRect(x0, y0, x1, y1 float64) Rect { return geo.NewRect(x0, y0, x1, y1) }
 

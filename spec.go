@@ -100,6 +100,12 @@ type Spec interface {
 	// binding its start slot to the aggregator's next slot. It seals the
 	// interface to this package.
 	materialize(a *Aggregator) (SubmittedQuery, error)
+
+	// footprint returns the spec's relevance footprint on the given world:
+	// a rectangle containing every sensor position that could ever be
+	// Relevant to the materialized query. The sharded execution layer
+	// routes a spec to the shard(s) its footprint intersects (shard.go).
+	footprint(w *World) Rect
 }
 
 // SubmittedQuery describes a query accepted by Aggregator.Submit.
@@ -148,16 +154,40 @@ func isNilSpec(spec Spec) bool {
 	return v.Kind() == reflect.Pointer && v.IsNil()
 }
 
+// Sentinel validation errors. Every Spec.Validate failure wraps exactly
+// one of these, so callers can branch with errors.Is instead of matching
+// message text; the wrapping message still names the kind, the query ID
+// and the offending value.
+var (
+	// ErrEmptyQueryID rejects a spec without an issuer-chosen ID.
+	ErrEmptyQueryID = errors.New("empty query ID")
+	// ErrNegativeBudget rejects a negative budget (or budget_per_slot).
+	ErrNegativeBudget = errors.New("negative budget")
+	// ErrBadDuration rejects a continuous spec whose window is shorter
+	// than one slot.
+	ErrBadDuration = errors.New("duration must be at least 1 slot")
+	// ErrBadTrajectory rejects a trajectory with fewer than two waypoints.
+	ErrBadTrajectory = errors.New("trajectory needs at least 2 waypoints")
+	// ErrNegativeRedundancy rejects a multipoint spec with k < 0.
+	ErrNegativeRedundancy = errors.New("negative redundancy k")
+	// ErrNegativeSamples rejects a locmon spec with a negative sample
+	// count.
+	ErrNegativeSamples = errors.New("negative sample count")
+	// ErrNoGPModel rejects region monitoring on a world without a learned
+	// GP phenomenon model.
+	ErrNoGPModel = errors.New("no GP phenomenon model")
+)
+
 // validateCommon checks the fields every spec shares. field names the
 // spec's budget field in errors ("budget", or "budget_per_slot" for the
 // event kinds), matching the wire envelope so HTTP rejections point at
 // the field the client actually sent.
 func validateCommon(kind QueryKind, id string, budget float64, field string) error {
 	if id == "" {
-		return fmt.Errorf("ps: %s spec: empty query ID", kind)
+		return fmt.Errorf("ps: %s spec: %w", kind, ErrEmptyQueryID)
 	}
 	if budget < 0 {
-		return fmt.Errorf("ps: %s spec %q: negative %s %v", kind, id, field, budget)
+		return fmt.Errorf("ps: %s spec %q: %w: %s = %v", kind, id, ErrNegativeBudget, field, budget)
 	}
 	return nil
 }
@@ -165,7 +195,7 @@ func validateCommon(kind QueryKind, id string, budget float64, field string) err
 // validateDuration checks a continuous kind's window length.
 func validateDuration(kind QueryKind, id string, duration int) error {
 	if duration < 1 {
-		return fmt.Errorf("ps: %s spec %q: duration %d, want >= 1 slot", kind, id, duration)
+		return fmt.Errorf("ps: %s spec %q: duration %d: %w", kind, id, duration, ErrBadDuration)
 	}
 	return nil
 }
@@ -217,7 +247,7 @@ func (s MultiPointSpec) Validate(*World) error {
 		return err
 	}
 	if s.K < 0 {
-		return fmt.Errorf("ps: multipoint spec %q: negative redundancy k = %d", s.ID, s.K)
+		return fmt.Errorf("ps: multipoint spec %q: %w = %d", s.ID, ErrNegativeRedundancy, s.K)
 	}
 	return nil
 }
@@ -274,7 +304,7 @@ func (s TrajectorySpec) Validate(*World) error {
 		return err
 	}
 	if len(s.Path.Waypoints) < 2 {
-		return fmt.Errorf("ps: trajectory spec %q: %d waypoints, want >= 2", s.ID, len(s.Path.Waypoints))
+		return fmt.Errorf("ps: trajectory spec %q: %d waypoints: %w", s.ID, len(s.Path.Waypoints), ErrBadTrajectory)
 	}
 	return nil
 }
@@ -313,7 +343,7 @@ func (s LocationMonitoringSpec) Validate(*World) error {
 		return err
 	}
 	if s.Samples < 0 {
-		return fmt.Errorf("ps: locmon spec %q: negative sample count %d", s.ID, s.Samples)
+		return fmt.Errorf("ps: locmon spec %q: %w: %d", s.ID, ErrNegativeSamples, s.Samples)
 	}
 	return nil
 }
@@ -364,7 +394,7 @@ func errNoGPModel(w *World) error {
 	if w != nil {
 		name = w.Name
 	}
-	return fmt.Errorf("ps: world %q has no GP phenomenon model; region monitoring needs one", name)
+	return fmt.Errorf("ps: world %q has %w; region monitoring needs one", name, ErrNoGPModel)
 }
 
 func (s RegionMonitoringSpec) materialize(a *Aggregator) (SubmittedQuery, error) {

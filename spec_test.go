@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"errors"
 	"fmt"
 	"maps"
 	"strings"
@@ -87,6 +88,93 @@ func TestSpecValidateRejections(t *testing.T) {
 			agg := NewAggregator(rwm)
 			if _, err := agg.Submit(tc.spec); err == nil {
 				t.Errorf("Submit accepted invalid spec %#v", tc.spec)
+			}
+		})
+	}
+}
+
+// TestSpecValidateSentinels walks every error path of Spec.Validate
+// across all 8 kinds and asserts the wrapped sentinel with errors.Is, so
+// transports can branch on the failure class instead of matching message
+// text. Happy paths per kind anchor the table.
+func TestSpecValidateSentinels(t *testing.T) {
+	rwm := NewRWMWorld(1, 50, SensorConfig{})
+	gp := NewIntelLabWorld(1, SensorConfig{})
+
+	region := NewRect(20, 20, 40, 40)
+	path := Trajectory{Waypoints: []Point{Pt(0, 0), Pt(10, 10)}}
+	cases := []struct {
+		name  string
+		spec  Spec
+		world *World
+		want  error // nil = must validate
+	}{
+		// One valid spec per kind: the sentinel table must not over-reject.
+		{"point ok", PointSpec{ID: "q", Loc: Pt(30, 30), Budget: 10}, rwm, nil},
+		{"multipoint ok", MultiPointSpec{ID: "q", Loc: Pt(30, 30), Budget: 10, K: 3}, rwm, nil},
+		{"aggregate ok", AggregateSpec{ID: "q", Region: region, Budget: 10}, rwm, nil},
+		{"trajectory ok", TrajectorySpec{ID: "q", Path: path, Budget: 10}, rwm, nil},
+		{"locmon ok", LocationMonitoringSpec{ID: "q", Loc: Pt(30, 30), Duration: 3, Budget: 10, Samples: 2}, rwm, nil},
+		{"regmon ok", RegionMonitoringSpec{ID: "q", Region: region, Duration: 3, Budget: 10}, gp, nil},
+		{"event ok", EventDetectionSpec{ID: "q", Loc: Pt(30, 30), Duration: 3, BudgetPerSlot: 10}, rwm, nil},
+		{"regionevent ok", RegionEventSpec{ID: "q", Region: region, Duration: 3, BudgetPerSlot: 10}, rwm, nil},
+
+		// Empty ID, every kind.
+		{"point empty id", PointSpec{Loc: Pt(1, 1), Budget: 5}, rwm, ErrEmptyQueryID},
+		{"multipoint empty id", MultiPointSpec{Loc: Pt(1, 1), Budget: 5}, rwm, ErrEmptyQueryID},
+		{"aggregate empty id", AggregateSpec{Region: region, Budget: 5}, rwm, ErrEmptyQueryID},
+		{"trajectory empty id", TrajectorySpec{Path: path, Budget: 5}, rwm, ErrEmptyQueryID},
+		{"locmon empty id", LocationMonitoringSpec{Loc: Pt(1, 1), Duration: 3, Budget: 5}, rwm, ErrEmptyQueryID},
+		{"regmon empty id", RegionMonitoringSpec{Region: region, Duration: 3, Budget: 5}, gp, ErrEmptyQueryID},
+		{"event empty id", EventDetectionSpec{Loc: Pt(1, 1), Duration: 3, BudgetPerSlot: 5}, rwm, ErrEmptyQueryID},
+		{"regionevent empty id", RegionEventSpec{Region: region, Duration: 3, BudgetPerSlot: 5}, rwm, ErrEmptyQueryID},
+
+		// Negative budget (or per-slot budget), every kind.
+		{"point negative budget", PointSpec{ID: "q", Loc: Pt(1, 1), Budget: -1}, rwm, ErrNegativeBudget},
+		{"multipoint negative budget", MultiPointSpec{ID: "q", Loc: Pt(1, 1), Budget: -1}, rwm, ErrNegativeBudget},
+		{"aggregate negative budget", AggregateSpec{ID: "q", Region: region, Budget: -1}, rwm, ErrNegativeBudget},
+		{"trajectory negative budget", TrajectorySpec{ID: "q", Path: path, Budget: -1}, rwm, ErrNegativeBudget},
+		{"locmon negative budget", LocationMonitoringSpec{ID: "q", Loc: Pt(1, 1), Duration: 3, Budget: -1}, rwm, ErrNegativeBudget},
+		{"regmon negative budget", RegionMonitoringSpec{ID: "q", Region: region, Duration: 3, Budget: -1}, gp, ErrNegativeBudget},
+		{"event negative budget", EventDetectionSpec{ID: "q", Loc: Pt(1, 1), Duration: 3, BudgetPerSlot: -1}, rwm, ErrNegativeBudget},
+		{"regionevent negative budget", RegionEventSpec{ID: "q", Region: region, Duration: 3, BudgetPerSlot: -1}, rwm, ErrNegativeBudget},
+
+		// Degenerate windows, every continuous kind.
+		{"locmon zero duration", LocationMonitoringSpec{ID: "q", Loc: Pt(1, 1), Budget: 5}, rwm, ErrBadDuration},
+		{"regmon zero duration", RegionMonitoringSpec{ID: "q", Region: region, Budget: 5}, gp, ErrBadDuration},
+		{"event negative duration", EventDetectionSpec{ID: "q", Loc: Pt(1, 1), Duration: -2, BudgetPerSlot: 5}, rwm, ErrBadDuration},
+		{"regionevent zero duration", RegionEventSpec{ID: "q", Region: region, BudgetPerSlot: 5}, rwm, ErrBadDuration},
+
+		// Kind-specific shape errors.
+		{"trajectory no waypoints", TrajectorySpec{ID: "q", Budget: 5}, rwm, ErrBadTrajectory},
+		{"trajectory one waypoint", TrajectorySpec{ID: "q", Path: Trajectory{Waypoints: []Point{Pt(1, 1)}}, Budget: 5}, rwm, ErrBadTrajectory},
+		{"multipoint negative k", MultiPointSpec{ID: "q", Loc: Pt(1, 1), Budget: 5, K: -1}, rwm, ErrNegativeRedundancy},
+		{"locmon negative samples", LocationMonitoringSpec{ID: "q", Loc: Pt(1, 1), Duration: 3, Budget: 5, Samples: -1}, rwm, ErrNegativeSamples},
+
+		// The GP-model precondition: no model, and no world at all.
+		{"regmon without model", RegionMonitoringSpec{ID: "q", Region: region, Duration: 3, Budget: 5}, rwm, ErrNoGPModel},
+		{"regmon nil world", RegionMonitoringSpec{ID: "q", Region: region, Duration: 3, Budget: 5}, nil, ErrNoGPModel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate(tc.world)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate(%#v) = %v, want nil", tc.spec, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate accepted %#v, want %v", tc.spec, tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Validate error %q does not wrap sentinel %q", err, tc.want)
+			}
+			// Aggregator.Submit must surface the same sentinel.
+			if tc.world != nil {
+				if _, serr := NewAggregator(tc.world).Submit(tc.spec); !errors.Is(serr, tc.want) {
+					t.Errorf("Submit error %v does not wrap sentinel %q", serr, tc.want)
+				}
 			}
 		})
 	}

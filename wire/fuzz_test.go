@@ -1,0 +1,108 @@
+package wire_test
+
+import (
+	"reflect"
+	"testing"
+
+	ps "repro"
+	"repro/wire"
+)
+
+// envelopeSeeds are valid (and near-valid) submission bodies covering
+// every query kind, both envelope versions and the documented error
+// shapes, so the fuzzers start from interesting corpus points.
+var envelopeSeeds = []string{
+	`{"v":1,"type":"point","id":"q1","loc":{"x":30,"y":30},"budget":15}`,
+	`{"type":"point","loc":{"x":30,"y":30},"budget":15}`, // legacy body (v 0)
+	`{"v":1,"type":"multipoint","id":"m","loc":{"x":1,"y":2},"budget":60,"k":4}`,
+	`{"v":1,"type":"aggregate","id":"a","region":{"x0":20,"y0":20,"x1":40,"y1":40},"budget":250}`,
+	`{"v":1,"type":"trajectory","id":"t","path":[{"x":0,"y":0},{"x":10,"y":10}],"budget":120}`,
+	`{"v":1,"type":"locmon","id":"l","loc":{"x":5,"y":5},"duration":8,"budget":150,"samples":4}`,
+	`{"v":1,"type":"regmon","id":"r","region":{"x0":1,"y0":1,"x1":10,"y1":10},"duration":6,"budget":200}`,
+	`{"v":1,"type":"event","id":"e","loc":{"x":3,"y":4},"duration":5,"threshold":0.7,"confidence":0.9,"budget_per_slot":30}`,
+	`{"v":1,"type":"regionevent","id":"re","region":{"x0":25,"y0":25,"x1":40,"y1":40},"duration":5,"threshold":0.5,"confidence":0.5,"budget_per_slot":60}`,
+	`{"v":2,"type":"point"}`,                                            // unsupported version
+	`{"v":1,"type":"warp"}`,                                             // unknown kind
+	`{"v":1,"type":"point","budget":15}`,                                // missing loc
+	`{"v":1,"type":"trajectory","path":[]}`,                             // empty path
+	`{"v":1,"type":"aggregate","region":{"x0":9,"y0":9,"x1":1,"y1":1}}`, // inverted corners
+	`{"v":1,"type":"POINT","loc":{"x":1,"y":1}}`,                        // case folding
+	`{}`, `null`, `[]`, `"point"`, `{"type":12}`, `{"v":-1,"type":"point"}`,
+}
+
+// FuzzDecodeEnvelope: arbitrary bytes never panic the decoder, and every
+// successfully decoded spec is non-nil and re-encodable.
+func FuzzDecodeEnvelope(f *testing.F) {
+	for _, s := range envelopeSeeds {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(`{"v":1,"type":"point","loc":{"x":1e308,"y":-1e308},"budget":1e308}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := wire.UnmarshalSpec(data)
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatalf("UnmarshalSpec(%q) returned nil spec without error", data)
+		}
+		if _, err := wire.MarshalSpec(spec); err != nil {
+			t.Fatalf("decoded spec %#v does not re-encode: %v", spec, err)
+		}
+	})
+}
+
+// FuzzSpecRoundTrip: every decodable body round-trips through the v1
+// envelope to a deep-equal spec — the codec loses no field of any kind.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, s := range envelopeSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := wire.UnmarshalSpec(data)
+		if err != nil {
+			t.Skip() // not a valid envelope; FuzzDecodeEnvelope covers this side
+		}
+		encoded, err := wire.MarshalSpec(spec)
+		if err != nil {
+			t.Fatalf("MarshalSpec(%#v): %v", spec, err)
+		}
+		back, err := wire.UnmarshalSpec(encoded)
+		if err != nil {
+			t.Fatalf("re-decode of %s: %v", encoded, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round trip diverged:\n first  %#v\n second %#v\n wire   %s", spec, back, encoded)
+		}
+		// The kind survives too (guards a spec type whose Kind() and
+		// envelope mapping disagree).
+		if spec.Kind() != back.Kind() || spec.QueryID() != back.QueryID() {
+			t.Fatalf("kind/id diverged: %v/%q vs %v/%q",
+				spec.Kind(), spec.QueryID(), back.Kind(), back.QueryID())
+		}
+	})
+}
+
+// TestEnvelopeSeedsDecode pins which seeds are valid: the fuzz corpus
+// stays honest about which shapes the codec accepts.
+func TestEnvelopeSeedsDecode(t *testing.T) {
+	validKinds := map[string]ps.QueryKind{
+		"q1": ps.KindPoint, "m": ps.KindMultiPoint, "a": ps.KindAggregate,
+		"t": ps.KindTrajectory, "l": ps.KindLocationMonitoring,
+		"r": ps.KindRegionMonitoring, "e": ps.KindEventDetection, "re": ps.KindRegionEvent,
+	}
+	decoded := 0
+	for _, s := range envelopeSeeds {
+		spec, err := wire.UnmarshalSpec([]byte(s))
+		if err != nil {
+			continue
+		}
+		decoded++
+		if want, ok := validKinds[spec.QueryID()]; ok && spec.Kind() != want {
+			t.Errorf("seed %s decoded to kind %v, want %v", s, spec.Kind(), want)
+		}
+	}
+	if decoded < 10 {
+		t.Errorf("only %d seeds decode; the corpus lost its valid shapes", decoded)
+	}
+}

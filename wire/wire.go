@@ -365,13 +365,50 @@ type Metrics struct {
 	LazyReevaluations       int64  `json:"lazy_reevaluations"`
 	SubmodularityViolations int64  `json:"submodularity_violations"`
 	FallbackRescans         int64  `json:"fallback_rescans"`
+	// Shards is the cumulative per-shard breakdown of a geo-sharded
+	// engine (the entry with "spanning":true is the cross-shard pass);
+	// absent on an unsharded engine.
+	Shards []ShardMetrics `json:"shards,omitempty"`
+}
+
+// ShardMetrics is one geographic shard's cumulative contribution inside
+// Metrics.
+type ShardMetrics struct {
+	Shard                   int     `json:"shard"`
+	Spanning                bool    `json:"spanning,omitempty"`
+	Offers                  int     `json:"offers"`
+	Queries                 int     `json:"queries"`
+	SensorsUsed             int     `json:"sensors_used"`
+	Welfare                 float64 `json:"welfare"`
+	ValuationCalls          int64   `json:"valuation_calls"`
+	ValuationCallsSaved     int64   `json:"valuation_calls_saved"`
+	LazyReevaluations       int64   `json:"lazy_reevaluations"`
+	SubmodularityViolations int64   `json:"submodularity_violations"`
+	FallbackRescans         int64   `json:"fallback_rescans"`
 }
 
 // MetricsFrom converts an engine metrics snapshot to its wire form.
 // configured is the server's configured selection strategy (the engine
 // snapshot only knows the last executed slot's).
 func MetricsFrom(m ps.EngineMetrics, configured string) Metrics {
+	var shards []ShardMetrics
+	for _, s := range m.Shards {
+		shards = append(shards, ShardMetrics{
+			Shard:                   s.Shard,
+			Spanning:                s.Spanning,
+			Offers:                  s.Offers,
+			Queries:                 s.Queries,
+			SensorsUsed:             s.SensorsUsed,
+			Welfare:                 s.Welfare,
+			ValuationCalls:          s.Selection.ValuationCalls,
+			ValuationCallsSaved:     s.Selection.SavedCalls(),
+			LazyReevaluations:       s.Selection.LazyReevaluations,
+			SubmodularityViolations: s.Selection.SubmodularityViolations,
+			FallbackRescans:         s.Selection.FallbackRescans,
+		})
+	}
 	return Metrics{
+		Shards:                  shards,
 		Slots:                   m.Slots,
 		LastSlot:                m.LastSlot,
 		TotalWelfare:            m.TotalWelfare,
