@@ -336,8 +336,11 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				handles = handles[:0]
 				for j := 0; j < pointsPerSlot; j++ {
-					h, err := eng.SubmitPoint(fmt.Sprintf("q%d-%d", i, j),
-						ps.Pt(rnd.Uniform(w.MinX, w.MaxX), rnd.Uniform(w.MinY, w.MaxY)), 15)
+					h, err := eng.Submit(ps.PointSpec{
+						ID:     fmt.Sprintf("q%d-%d", i, j),
+						Loc:    ps.Pt(rnd.Uniform(w.MinX, w.MaxX), rnd.Uniform(w.MinY, w.MaxY)),
+						Budget: 15,
+					})
 					if err != nil {
 						b.Fatalf("submit: %v", err)
 					}
@@ -345,8 +348,11 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				}
 				for j := 0; j < aggsPerSlot; j++ {
 					x, y := rnd.Uniform(w.MinX, w.MaxX-15), rnd.Uniform(w.MinY, w.MaxY-15)
-					h, err := eng.SubmitAggregate(fmt.Sprintf("a%d-%d", i, j),
-						ps.NewRect(x, y, x+10, y+10), 300)
+					h, err := eng.Submit(ps.AggregateSpec{
+						ID:     fmt.Sprintf("a%d-%d", i, j),
+						Region: ps.NewRect(x, y, x+10, y+10),
+						Budget: 300,
+					})
 					if err != nil {
 						b.Fatalf("submit: %v", err)
 					}
@@ -356,7 +362,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 					b.Fatalf("slot: %v", err)
 				}
 				for _, h := range handles {
-					for range h.Results() {
+					for range h.Events() {
 					}
 				}
 			}

@@ -140,7 +140,7 @@ func runEngineLoad(seed int64, sensors, slots, perSlot, aggsPerSlot, clients int
 		consumers.Add(1)
 		go func() {
 			defer consumers.Done()
-			for range h.Results() {
+			for range h.Events() {
 			}
 		}()
 	}
@@ -195,5 +195,5 @@ func runEngineLoad(seed int64, sensors, slots, perSlot, aggsPerSlot, clients int
 	fmt.Printf("%-28s avg %v  max %v\n", "slot latency:", m.SlotLatencyAvg.Round(time.Microsecond), m.SlotLatencyMax.Round(time.Microsecond))
 	fmt.Printf("%-28s %.1f (%.1f/slot)\n", "total welfare:", m.TotalWelfare, m.TotalWelfare/float64(m.Slots))
 	fmt.Printf("%-28s %d answered / %d starved\n", "deliveries:", m.Answered, m.Starved)
-	fmt.Printf("%-28s %d delivered, %d dropped\n", "results:", m.ResultsDelivered, m.ResultsDropped)
+	fmt.Printf("%-28s %d delivered, %d dropped (%d gap frames)\n", "events:", m.EventsDelivered, m.EventsDropped, m.GapEvents)
 }

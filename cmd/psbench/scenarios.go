@@ -548,19 +548,24 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 		return 2
 	}
 	var selected []scenario
+	var streamSelected []streamScenario
 	if names == "all" {
 		selected = scenarios
-	} else {
-		sc, ok := scenarioByName(names)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "psbench: unknown scenario %q (have:", names)
-			for _, s := range scenarios {
-				fmt.Fprintf(os.Stderr, " %s", s.Name)
-			}
-			fmt.Fprintln(os.Stderr, ", all)")
-			return 2
-		}
+		streamSelected = streamScenarios
+	} else if sc, ok := scenarioByName(names); ok {
 		selected = []scenario{sc}
+	} else if ssc, ok := streamScenarioByName(names); ok {
+		streamSelected = []streamScenario{ssc}
+	} else {
+		fmt.Fprintf(os.Stderr, "psbench: unknown scenario %q (have:", names)
+		for _, s := range scenarios {
+			fmt.Fprintf(os.Stderr, " %s", s.Name)
+		}
+		for _, s := range streamScenarios {
+			fmt.Fprintf(os.Stderr, " %s", s.Name)
+		}
+		fmt.Fprintln(os.Stderr, ", all)")
+		return 2
 	}
 
 	exit := 0
@@ -644,6 +649,14 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 			}
 		}
 		fmt.Printf("-- %s done in %v\n\n", res.Scenario, time.Since(start).Round(time.Millisecond))
+	}
+	// Streaming scenarios gate on absolute push-delivery properties
+	// (zero polls, p95 within one slot), not on a latency baseline, so
+	// -baseline does not apply to them.
+	for _, ssc := range streamSelected {
+		if code := runStreamScenarioMode(ssc, 0, emitJSON, outDir); code != 0 {
+			exit = code
+		}
 	}
 	return exit
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStreamingFanoutReducedScale runs the push-delivery scenario at a
+// fraction of its benchmark size — the same full stack (engine hub,
+// serve /watch, psclient streams over real HTTP, real slot clock) with
+// the same gates: every query observed to its final frame, zero poll
+// requests, p95 delivery within one slot. The full 10k/1k configuration
+// runs in CI's bench job via `psbench -scenario streaming-fanout`.
+func TestStreamingFanoutReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock streaming run; covered at full scale by the bench job")
+	}
+	sc, ok := streamScenarioByName("streaming-fanout")
+	if !ok {
+		t.Fatal("streaming-fanout scenario missing")
+	}
+	sc.Watchers = 100
+	sc.Interval = 50 * time.Millisecond
+	res, exit := runStreamScenario(sc, 1000)
+	if exit != 0 {
+		t.Fatalf("gates failed: %+v", res)
+	}
+	if res.FinalsObserved != 1000 {
+		t.Fatalf("finals = %d, want 1000", res.FinalsObserved)
+	}
+	if res.PollRequests != 0 {
+		t.Fatalf("poll requests = %d, want 0", res.PollRequests)
+	}
+	if res.DeliveryMsP95 > res.SlotIntervalMs {
+		t.Fatalf("p95 delivery %.2fms exceeds one slot (%.0fms)", res.DeliveryMsP95, res.SlotIntervalMs)
+	}
+	if res.DeliverySamples == 0 || res.WatchRequests < 1000 {
+		t.Fatalf("stream accounting looks wrong: %+v", res)
+	}
+}

@@ -93,12 +93,12 @@ func main() {
 
 	// The flag keeps its historical meaning: 0 evicts finished records at
 	// the next sweep.
-	handler := serve.New(eng, w, serve.Options{
+	api := serve.New(eng, w, serve.Options{
 		Retain:      *retain,
 		NoRetention: *retain <= 0,
 		Strategy:    strat,
-	}).Handler()
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	})
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	go func() {
 		log.Printf("psserve: serving %s world (%d sensors) on %s, slot every %v, strategy %s, %d shard(s)",
 			*world, *sensors, *addr, *interval, strat, *shards)
@@ -111,12 +111,18 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("psserve: shutting down")
+	// Graceful order: stop accepting and end every watch stream with a
+	// terminal server_closing frame, drain the HTTP server (which waits
+	// for those streams to unwind), then stop the engine (which finishes
+	// in-flight continuous queries up to the drain cap).
+	api.Shutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	if err := srv.Shutdown(ctx); err != nil {
 		_ = srv.Close()
 	}
 	cancel()
 	eng.Stop()
+	log.Print("psserve: bye")
 }
 
 func buildWorld(kind string, seed int64, sensors int) (*ps.World, error) {

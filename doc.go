@@ -30,14 +30,21 @@
 //
 // For serving live traffic, Engine wraps an Aggregator into a
 // concurrent, slot-clocked streaming layer: submissions from any
-// goroutine become non-blocking enqueues returning a QueryHandle with a
-// per-slot result subscription, a real-time or virtual clock drives the
-// slots, and cmd/psserve exposes the whole thing over HTTP:
+// goroutine become non-blocking enqueues returning a QueryHandle whose
+// subscription streams typed events (Accepted, one SlotUpdate per
+// active slot, then Final or Canceled; Gap frames summarize anything a
+// slow consumer missed), a real-time or virtual clock drives the slots,
+// additional observers attach with Engine.Watch, and cmd/psserve exposes
+// the whole thing over HTTP — including server-pushed /watch streams:
 //
 //	eng := ps.NewEngine(ps.NewAggregator(world), ps.WithSlotInterval(time.Second))
 //	eng.Start()
 //	h, _ := eng.Submit(ps.PointSpec{ID: "q1", Loc: ps.Pt(30, 30), Budget: 15})
-//	res := <-h.Results()
+//	for ev := range h.Events() {
+//		if ev.Type == ps.EventSlotUpdate {
+//			fmt.Println(ev.Slot, ev.Result.Value)
+//		}
+//	}
 //	eng.Stop()
 //
 // Package wire defines the JSON wire format of that HTTP API, and

@@ -22,8 +22,8 @@ var (
 	ErrDuplicateQueryID = errors.New("ps: duplicate query id")
 )
 
-// SlotResult is what a query's subscription receives after each executed
-// slot the query was live for.
+// SlotResult is the payload of one SlotUpdate event: the query's outcome
+// for one executed slot it was live for.
 type SlotResult struct {
 	// Slot is the executed slot number.
 	Slot int
@@ -36,66 +36,54 @@ type SlotResult struct {
 	Payment float64
 	// Events carries this query's event-detection evaluations, if any.
 	Events []EventNotification
-	// Final marks the last result this subscription will deliver; the
-	// result channel is closed right after it.
+	// Final marks the last slot of the query's window; an EventFinal
+	// frame follows this result on the stream.
 	Final bool
 }
 
-// QueryHandle is a live query's subscription: a receive-only stream of
-// per-slot results plus cancellation. One-shot queries deliver exactly one
-// result; continuous queries deliver one per active slot until they expire,
-// are canceled, or the engine stops.
+// QueryHandle is the submitting client's view of a live query: a thin
+// wrapper over the query's primary event Subscription plus cancellation.
+// The stream delivers Accepted, then one SlotUpdate per executed slot
+// the query is live for, then Final (normal expiry) or Canceled; see
+// Subscription for the slow-consumer policy. Additional observers attach
+// with Engine.Watch.
 type QueryHandle struct {
 	id  string
 	eng *Engine
-	// results is closed by the loop goroutine when the subscription ends.
-	results chan SlotResult
-
-	// Loop-goroutine-owned; err is published by the close of results.
-	end int
-	err error
+	sub *Subscription
 }
 
 // ID returns the query's identifier.
 func (h *QueryHandle) ID() string { return h.id }
 
-// Results returns the subscription stream. The channel is buffered; if a
-// subscriber falls behind, the *oldest* buffered result is dropped
-// (counted in the engine metrics) rather than stalling the slot clock —
-// the newest result, including the Final one, is always delivered. The
-// channel closes after the Final result, after Cancel, or on engine
-// shutdown.
-func (h *QueryHandle) Results() <-chan SlotResult { return h.results }
+// Events returns the handle's event stream (see Subscription.Events).
+func (h *QueryHandle) Events() <-chan QueryEvent { return h.sub.Events() }
 
-// Err explains why the subscription ended: nil after normal expiry,
+// Subscription returns the handle's underlying subscription.
+func (h *QueryHandle) Subscription() *Subscription { return h.sub }
+
+// Err explains why the stream ended: nil after normal expiry,
 // ErrCanceled, ErrEngineStopped, or a submission error such as
-// ErrDuplicateQueryID. Only valid once Results is closed.
-func (h *QueryHandle) Err() error { return h.err }
+// ErrDuplicateQueryID. Only valid once Events is closed.
+func (h *QueryHandle) Err() error { return h.sub.Err() }
 
-// Cancel withdraws the query before its next slot and closes the
-// subscription with ErrCanceled. Canceling an already-finished query is a
-// no-op. The returned error reports only enqueue failure of the
-// cancellation itself (queue full or engine stopped).
+// Cancel withdraws the query before its next slot and terminates every
+// attached subscription with a Canceled event (Err reports ErrCanceled).
+// Canceling an already-finished query is a no-op. The returned error
+// reports only enqueue failure of the cancellation itself (queue full or
+// engine stopped).
 func (h *QueryHandle) Cancel() error {
 	return h.eng.loop.Do(func() {
 		e := h.eng
-		if e.subs[h.id] != h {
+		if !e.hub.cancel(h.id, h.sub, ErrCanceled, time.Now()) {
 			return // already expired, replaced, or canceled
 		}
-		delete(e.subs, h.id)
 		e.agg.CancelQuery(h.id)
-		h.fail(ErrCanceled)
 		e.mu.Lock()
 		e.m.QueriesCanceled++
-		e.m.ActiveQueries = len(e.subs)
+		e.m.ActiveQueries = e.hub.liveCount()
 		e.mu.Unlock()
 	})
-}
-
-// fail ends the subscription with err. Loop goroutine only.
-func (h *QueryHandle) fail(err error) {
-	h.err = err
-	close(h.results)
 }
 
 // EngineMetrics is a point-in-time snapshot of the engine's counters.
@@ -120,10 +108,13 @@ type EngineMetrics struct {
 	// positive value, Starved results delivered with none.
 	Answered int64
 	Starved  int64
-	// ResultsDropped counts results discarded because a subscriber's
-	// buffer was full.
-	ResultsDelivered int64
-	ResultsDropped   int64
+	// EventsDelivered counts events handed to subscriber buffers across
+	// all subscriptions; EventsDropped counts events evicted from a slow
+	// subscriber's buffer (each run of evictions is summarized by one of
+	// the GapEvents frames).
+	EventsDelivered int64
+	EventsDropped   int64
+	GapEvents       int64
 	// Selection instrumentation accumulated over all slots: valuation
 	// calls the greedy core made, what an exhaustive scan would have
 	// made (their difference is the lazy strategy's pruning), lazy-heap
@@ -148,11 +139,11 @@ type EngineMetrics struct {
 }
 
 type engineConfig struct {
-	interval     time.Duration
-	queueSize    int
-	blockOnFull  bool
-	resultBuffer int
-	drainSlots   int
+	interval    time.Duration
+	queueSize   int
+	blockOnFull bool
+	eventBuffer int
+	drainSlots  int
 }
 
 // EngineOption customizes an Engine.
@@ -176,11 +167,13 @@ func WithBlockingSubmit() EngineOption {
 	return func(c *engineConfig) { c.blockOnFull = true }
 }
 
-// WithResultBuffer sets each subscription's channel buffer (default 16).
-func WithResultBuffer(n int) EngineOption {
+// WithEventBuffer sets each subscription's event buffer (default 16,
+// minimum 2 — a Gap frame must fit in front of the event that displaced
+// it).
+func WithEventBuffer(n int) EngineOption {
 	return func(c *engineConfig) {
 		if n > 0 {
-			c.resultBuffer = n
+			c.eventBuffer = n
 		}
 	}
 }
@@ -197,34 +190,25 @@ func WithDrainSlots(n int) EngineOption {
 type queryRuntime interface {
 	slotRunner
 	Submit(Spec) (SubmittedQuery, error)
-	materializeSpec(Spec) (SubmittedQuery, error)
 	CancelQuery(id string) bool
 	SetGreedyStrategy(Strategy)
-}
-
-// materializeSpec registers a spec without validation — the deprecated
-// lenient submission path kept for the legacy Submit* wrappers.
-func (a *Aggregator) materializeSpec(spec Spec) (SubmittedQuery, error) {
-	return spec.materialize(a)
 }
 
 // Engine is the concurrent, slot-clocked serving layer over an
 // Aggregator (or a geo-sharded ShardedAggregator). Submissions from any
 // goroutine become non-blocking enqueues onto a bounded queue; a single
 // event-loop goroutine owns the aggregator, executes slots as the clock
-// ticks, and fans each SlotReport out to the per-query subscriptions. The
+// ticks, and publishes each SlotReport through the subscription hub —
+// one typed event stream per query, any number of subscribers each. The
 // aggregator (and its World) must not be used directly once handed to an
 // Engine.
 type Engine struct {
 	agg    queryRuntime
 	runner slotRunner
 	loop   *engine.Loop[*SlotReport]
+	hub    *hub
 
-	resultBuffer int
-	drainSlots   int
-
-	// subs maps live query IDs to their handles. Loop goroutine only.
-	subs map[string]*QueryHandle
+	drainSlots int
 
 	mu sync.Mutex
 	m  EngineMetrics
@@ -245,16 +229,15 @@ func NewShardedEngine(agg *ShardedAggregator, opts ...EngineOption) *Engine {
 }
 
 func newEngine(agg queryRuntime, opts []EngineOption) *Engine {
-	cfg := engineConfig{queueSize: 1024, resultBuffer: 16, drainSlots: 64}
+	cfg := engineConfig{queueSize: 1024, eventBuffer: 16, drainSlots: 64}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	e := &Engine{
-		agg:          agg,
-		runner:       agg,
-		resultBuffer: cfg.resultBuffer,
-		drainSlots:   cfg.drainSlots,
-		subs:         make(map[string]*QueryHandle),
+		agg:        agg,
+		runner:     agg,
+		hub:        newHub(cfg.eventBuffer),
+		drainSlots: cfg.drainSlots,
 	}
 	lc := engine.Config{QueueSize: cfg.queueSize}
 	if cfg.blockOnFull {
@@ -312,29 +295,45 @@ func (e *Engine) Metrics() EngineMetrics {
 	return m
 }
 
-// submit is the shared ingest path: it allocates the handle, enqueues the
-// registration closure and accounts for acceptance/rejection. register
-// runs on the loop goroutine and returns the last slot the query can
-// produce a result for.
-func (e *Engine) submit(id string, register func() (end int, err error)) (*QueryHandle, error) {
-	h := &QueryHandle{id: id, eng: e, results: make(chan SlotResult, e.resultBuffer)}
+// countRejected accounts for a submission that never became a live query:
+// queue overflow, duplicate ID, or a registration error.
+func (e *Engine) countRejected() {
+	e.mu.Lock()
+	e.m.QueriesRejected++
+	e.mu.Unlock()
+}
+
+// Submit validates and submits any query spec from any goroutine and
+// returns its subscription handle. The spec is validated and materialized
+// on the event-loop goroutine, so a continuous spec's start slot is bound
+// to the slot clock at execution time — slots ticking between enqueue and
+// execution shift the window instead of silently shortening it. A spec
+// rejected by validation (or a world precondition such as region
+// monitoring's GP model) closes the handle's stream immediately with the
+// error (see QueryHandle.Err); transports that want a synchronous verdict
+// call Spec.Validate first.
+func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
+	if isNilSpec(spec) {
+		return nil, errNilSpec
+	}
+	id := spec.QueryID()
+	h := &QueryHandle{id: id, eng: e, sub: e.hub.newSubscription(id)}
 	err := e.loop.Do(func() {
-		if _, dup := e.subs[id]; dup {
+		if e.hub.live(id) {
 			h.fail(ErrDuplicateQueryID)
 			e.countRejected()
 			return
 		}
-		end, err := register()
+		sq, err := e.agg.Submit(spec)
 		if err != nil {
 			h.fail(err)
 			e.countRejected()
 			return
 		}
-		h.end = end
-		e.subs[id] = h
+		e.hub.register(id, sq.Start, sq.End, h.sub, time.Now())
 		e.mu.Lock()
 		e.m.QueriesSubmitted++
-		e.m.ActiveQueries = len(e.subs)
+		e.m.ActiveQueries = e.hub.liveCount()
 		e.mu.Unlock()
 	})
 	if err != nil {
@@ -344,127 +343,28 @@ func (e *Engine) submit(id string, register func() (end int, err error)) (*Query
 	return h, nil
 }
 
-// countRejected accounts for a submission that never became a live query:
-// queue overflow, duplicate ID, or a registration error.
-func (e *Engine) countRejected() {
-	e.mu.Lock()
-	e.m.QueriesRejected++
-	e.mu.Unlock()
+// fail closes the handle's never-attached stream with err. Loop
+// goroutine only.
+func (h *QueryHandle) fail(err error) {
+	h.eng.hub.mu.Lock()
+	h.sub.closeLocked(err)
+	h.eng.hub.mu.Unlock()
 }
 
-// Submit submits any query spec from any goroutine and returns its
-// subscription handle. The spec is validated and materialized on the
-// event-loop goroutine, so a continuous spec's start slot is bound to the
-// slot clock at execution time — slots ticking between enqueue and
-// execution shift the window instead of silently shortening it. A spec
-// rejected by validation (or a world precondition such as region
-// monitoring's GP model) closes the subscription immediately with the
-// error (see QueryHandle.Err); transports that want a synchronous verdict
-// call Spec.Validate first.
-func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
-	return e.submitSpec(spec, true)
+// Watch attaches an additional subscriber to a live query's event
+// stream: the returned subscription opens with the query's Accepted
+// event and then delivers every event published after the attach
+// (Subscription.JoinCursor reports the cursor boundary, so a transport
+// can replay older history from its own store). Watching does not confer
+// cancellation rights. Safe from any goroutine; a query that is unknown,
+// already finished, or canceled returns ErrUnknownQuery.
+func (e *Engine) Watch(id string) (*Subscription, error) {
+	return e.hub.watch(id)
 }
 
-// submitSpec is the shared spec ingest. validate selects between the
-// strict Submit path and the legacy wrappers' historical lenient
-// semantics (materialize without validation, mirroring the deprecated
-// Aggregator.Submit* methods).
-func (e *Engine) submitSpec(spec Spec, validate bool) (*QueryHandle, error) {
-	if isNilSpec(spec) {
-		return nil, errNilSpec
-	}
-	return e.submit(spec.QueryID(), func() (int, error) {
-		var sq SubmittedQuery
-		var err error
-		if validate {
-			sq, err = e.agg.Submit(spec)
-		} else {
-			sq, err = e.agg.materializeSpec(spec)
-		}
-		if err != nil {
-			return 0, err
-		}
-		return sq.End, nil
-	})
-}
-
-// The per-kind Submit* methods below are thin wrappers over the spec
-// ingest. Like their Aggregator counterparts they keep the historical
-// lenient semantics (no validation) for one release.
-
-// SubmitPoint submits a single-sensor point query; its one result arrives
-// after the next slot.
-//
-// Deprecated: use Submit with a PointSpec.
-func (e *Engine) SubmitPoint(id string, loc Point, budget float64) (*QueryHandle, error) {
-	return e.submitSpec(PointSpec{ID: id, Loc: loc, Budget: budget}, false)
-}
-
-// SubmitMultiPoint submits a multiple-sensor point query asking for k
-// redundant readings.
-//
-// Deprecated: use Submit with a MultiPointSpec.
-func (e *Engine) SubmitMultiPoint(id string, loc Point, budget float64, k int) (*QueryHandle, error) {
-	return e.submitSpec(MultiPointSpec{ID: id, Loc: loc, Budget: budget, K: k}, false)
-}
-
-// SubmitAggregate submits a spatial aggregate query over a region.
-//
-// Deprecated: use Submit with an AggregateSpec.
-func (e *Engine) SubmitAggregate(id string, region Rect, budget float64) (*QueryHandle, error) {
-	return e.submitSpec(AggregateSpec{ID: id, Region: region, Budget: budget}, false)
-}
-
-// SubmitTrajectory submits a query over a trajectory.
-//
-// Deprecated: use Submit with a TrajectorySpec.
-func (e *Engine) SubmitTrajectory(id string, tr Trajectory, budget float64) (*QueryHandle, error) {
-	return e.submitSpec(TrajectorySpec{ID: id, Path: tr, Budget: budget}, false)
-}
-
-// SubmitLocationMonitoring submits a continuous location-monitoring query
-// delivering one result per active slot for `duration` slots.
-//
-// Deprecated: use Submit with a LocationMonitoringSpec.
-func (e *Engine) SubmitLocationMonitoring(id string, loc Point, duration int, budget float64, samples int) (*QueryHandle, error) {
-	return e.submitSpec(LocationMonitoringSpec{ID: id, Loc: loc, Duration: duration, Budget: budget, Samples: samples}, false)
-}
-
-// SubmitRegionMonitoring submits a continuous region-monitoring query; it
-// requires a world with a GP phenomenon model. A model-less world closes
-// the subscription immediately with the validation error (see Err).
-//
-// Deprecated: use Submit with a RegionMonitoringSpec.
-func (e *Engine) SubmitRegionMonitoring(id string, region Rect, duration int, budget float64) (*QueryHandle, error) {
-	return e.submitSpec(RegionMonitoringSpec{ID: id, Region: region, Duration: duration, Budget: budget}, false)
-}
-
-// SubmitEventDetection submits a continuous event-detection query; each
-// result's Events field carries the slot's detection verdict.
-//
-// Deprecated: use Submit with an EventDetectionSpec.
-func (e *Engine) SubmitEventDetection(id string, loc Point, duration int, threshold, confidence, budgetPerSlot float64) (*QueryHandle, error) {
-	return e.submitSpec(EventDetectionSpec{
-		ID: id, Loc: loc, Duration: duration,
-		Threshold: threshold, Confidence: confidence, BudgetPerSlot: budgetPerSlot,
-	}, false)
-}
-
-// SubmitRegionEvent submits a continuous region event-detection query.
-//
-// Deprecated: use Submit with a RegionEventSpec.
-func (e *Engine) SubmitRegionEvent(id string, region Rect, duration int, threshold, confidence, budgetPerSlot float64) (*QueryHandle, error) {
-	return e.submitSpec(RegionEventSpec{
-		ID: id, Region: region, Duration: duration,
-		Threshold: threshold, Confidence: confidence, BudgetPerSlot: budgetPerSlot,
-	}, false)
-}
-
-// onSlot fans a slot report out to the live subscriptions and updates the
-// engine-wide metrics. Loop goroutine only.
+// onSlot publishes a slot report through the subscription hub and
+// updates the engine-wide metrics. Loop goroutine only.
 func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
-	var delivered, dropped, answered, starved int64
-	var payments float64
 	var events map[string][]EventNotification
 	if len(rep.Events) > 0 {
 		events = make(map[string][]EventNotification, len(rep.Events))
@@ -472,42 +372,7 @@ func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
 			events[ev.QueryID] = append(events[ev.QueryID], ev)
 		}
 	}
-	for id, h := range e.subs {
-		res := SlotResult{
-			Slot:     rep.Slot,
-			Answered: rep.Answered(id),
-			Value:    rep.Value(id),
-			Payment:  rep.Payment(id),
-			Events:   events[id],
-			Final:    rep.Slot >= h.end,
-		}
-		if res.Answered {
-			answered++
-		} else {
-			starved++
-		}
-		payments += res.Payment
-		select {
-		case h.results <- res:
-			delivered++
-		default:
-			// Slow subscriber: evict the oldest buffered result so the
-			// newest (and in particular the Final one) always lands. The
-			// loop goroutine is the only sender, so after the eviction
-			// the buffer has space and this send cannot block.
-			select {
-			case <-h.results:
-				dropped++
-			default: // a racing reader freed space for us instead
-			}
-			h.results <- res
-			delivered++
-		}
-		if res.Final {
-			delete(e.subs, id)
-			close(h.results)
-		}
-	}
+	st := e.hub.publishSlot(rep, events, time.Now())
 
 	e.mu.Lock()
 	e.m.LastSlot = rep.Slot
@@ -534,13 +399,14 @@ func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
 	}
 	e.m.TotalWelfare += rep.Welfare
 	e.m.TotalCost += rep.TotalCost
-	e.m.TotalPayments += payments
+	e.m.TotalPayments += st.payments
 	e.m.SensorsUsed += int64(rep.SensorsUsed)
-	e.m.Answered += answered
-	e.m.Starved += starved
-	e.m.ResultsDelivered += delivered
-	e.m.ResultsDropped += dropped
-	e.m.ActiveQueries = len(e.subs)
+	e.m.Answered += st.answered
+	e.m.Starved += st.starved
+	e.m.EventsDelivered += st.delivered
+	e.m.EventsDropped += st.dropped
+	e.m.GapEvents = e.hub.gapCount()
+	e.m.ActiveQueries = st.active
 	e.mu.Unlock()
 }
 
@@ -548,13 +414,10 @@ func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
 // queries remain (bounded by the drain cap), then force-closes whatever
 // is left. Loop goroutine only.
 func (e *Engine) drain(step func()) {
-	for i := 0; i < e.drainSlots && len(e.subs) > 0; i++ {
+	for i := 0; i < e.drainSlots && e.hub.liveCount() > 0; i++ {
 		step()
 	}
-	for id, h := range e.subs {
-		delete(e.subs, id)
-		h.fail(ErrEngineStopped)
-	}
+	e.hub.closeAll(ErrEngineStopped, time.Now())
 	e.mu.Lock()
 	e.m.ActiveQueries = 0
 	e.mu.Unlock()

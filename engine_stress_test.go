@@ -26,9 +26,9 @@ func TestEngineStress(t *testing.T) {
 		NewAggregator(world, WithScheduling(SchedulingGreedy)),
 		WithBlockingSubmit(),
 		WithQueueSize(256),
-		// A tiny result buffer forces the slow-subscriber eviction path
+		// A tiny event buffer forces the slow-subscriber eviction path
 		// under load.
-		WithResultBuffer(2),
+		WithEventBuffer(2),
 	)
 	eng.Start()
 
@@ -116,15 +116,19 @@ func TestEngineStress(t *testing.T) {
 
 	// Every handle's subscription is now closed; classify terminal states.
 	var finals, canceled, stopped, duplicates int
+	var gaps int64
 	for _, h := range handles {
-		var last *SlotResult
-		for res := range h.Results() {
-			last = &res
+		var last QueryEvent
+		for ev := range h.Events() {
+			if ev.Type == EventGap {
+				gaps += int64(ev.Dropped)
+			}
+			last = ev
 		}
 		switch err := h.Err(); {
 		case err == nil:
-			if last == nil || !last.Final {
-				t.Fatalf("%s: expired without a Final result (last %+v)", h.ID(), last)
+			if last.Type != EventFinal {
+				t.Fatalf("%s: expired without a Final frame (last %+v)", h.ID(), last)
 			}
 			finals++
 		case errors.Is(err, ErrCanceled):
@@ -151,7 +155,12 @@ func TestEngineStress(t *testing.T) {
 	if m.ActiveQueries != 0 {
 		t.Errorf("ActiveQueries = %d after Stop, want 0", m.ActiveQueries)
 	}
-	if m.QueriesSubmitted == 0 || m.ResultsDelivered == 0 {
+	if m.QueriesSubmitted == 0 || m.EventsDelivered == 0 {
 		t.Errorf("metrics show no traffic: %+v", m)
+	}
+	// The tiny buffer plus unread handles must have exercised the
+	// drop-oldest path, and every eviction must be visible in a Gap frame.
+	if m.EventsDropped > 0 && gaps == 0 {
+		t.Errorf("%d events dropped but no Gap frame surfaced them", m.EventsDropped)
 	}
 }

@@ -18,22 +18,72 @@ func newTestEngine(t *testing.T, opts ...EngineOption) *Engine {
 	return e
 }
 
-// collect drains a handle's subscription until it closes.
-func collect(t *testing.T, h *QueryHandle) []SlotResult {
+// drainEvents consumes a handle's stream until it closes, returning every
+// event, and asserts the protocol invariants: a stream that carries any
+// event opens with Accepted, cursors never decrease, and nothing follows
+// a terminal frame.
+func drainEvents(t *testing.T, h *QueryHandle) []QueryEvent {
 	t.Helper()
-	var out []SlotResult
+	var out []QueryEvent
 	timeout := time.After(10 * time.Second)
 	for {
 		select {
-		case r, ok := <-h.Results():
+		case ev, ok := <-h.Events():
 			if !ok {
+				checkEventProtocol(t, h.ID(), out)
 				return out
 			}
-			out = append(out, r)
+			out = append(out, ev)
 		case <-timeout:
 			t.Fatalf("query %s: subscription did not close", h.ID())
 		}
 	}
+}
+
+func checkEventProtocol(t *testing.T, id string, evs []QueryEvent) {
+	t.Helper()
+	cursor := int(-1 << 30)
+	for i, ev := range evs {
+		if ev.QueryID != id {
+			t.Fatalf("%s: event %d routed for %q", id, i, ev.QueryID)
+		}
+		// A stream opens with Accepted — or with a Gap when the consumer
+		// stalled long enough for the Accepted frame itself to be evicted.
+		if i == 0 && ev.Type != EventAccepted && ev.Type != EventGap {
+			t.Fatalf("%s: stream opened with %v, want accepted (or gap)", id, ev.Type)
+		}
+		if i > 0 && ev.Type == EventAccepted {
+			t.Fatalf("%s: duplicate accepted at %d", id, i)
+		}
+		if ev.Slot < cursor {
+			t.Fatalf("%s: cursor went backwards at %d: %d < %d", id, i, ev.Slot, cursor)
+		}
+		cursor = ev.Slot
+		if terminal := ev.Type == EventFinal || ev.Type == EventCanceled; terminal && i != len(evs)-1 {
+			t.Fatalf("%s: %v frame at %d is not last of %d", id, ev.Type, i, len(evs))
+		}
+	}
+}
+
+// collect drains a handle's stream until it closes and returns the
+// SlotResults its SlotUpdate events carried.
+func collect(t *testing.T, h *QueryHandle) []SlotResult {
+	t.Helper()
+	var out []SlotResult
+	for _, ev := range drainEvents(t, h) {
+		if ev.Type == EventSlotUpdate {
+			out = append(out, ev.Result)
+		}
+	}
+	return out
+}
+
+// terminalType returns the last event's type, or -1 for an empty stream.
+func terminalType(evs []QueryEvent) EventType {
+	if len(evs) == 0 {
+		return EventType(-1)
+	}
+	return evs[len(evs)-1].Type
 }
 
 func TestEngineConcurrentSubmits(t *testing.T) {
@@ -47,7 +97,7 @@ func TestEngineConcurrentSubmits(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				h, err := e.SubmitPoint(fmt.Sprintf("q%d-%d", g, i), Pt(20+float64(g), 20+float64(i)), 20)
+				h, err := e.Submit(PointSpec{ID: fmt.Sprintf("q%d-%d", g, i), Loc: Pt(20+float64(g), 20+float64(i)), Budget: 20})
 				if err != nil {
 					t.Errorf("submit: %v", err)
 					return
@@ -77,12 +127,18 @@ func TestEngineConcurrentSubmits(t *testing.T) {
 	total := 0
 	for g := range handles {
 		for _, h := range handles[g] {
-			rs := collect(t, h)
+			evs := drainEvents(t, h)
+			var rs []SlotResult
+			for _, ev := range evs {
+				if ev.Type == EventSlotUpdate {
+					rs = append(rs, ev.Result)
+				}
+			}
 			if len(rs) != 1 {
 				t.Fatalf("query %s: %d results, want 1", h.ID(), len(rs))
 			}
-			if !rs[0].Final {
-				t.Errorf("query %s: one-shot result not Final", h.ID())
+			if terminalType(evs) != EventFinal || !rs[0].Final {
+				t.Errorf("query %s: one-shot stream did not end in a Final frame", h.ID())
 			}
 			if h.Err() != nil {
 				t.Errorf("query %s: err = %v", h.ID(), h.Err())
@@ -108,7 +164,7 @@ func TestEngineConcurrentSubmits(t *testing.T) {
 func TestEngineCancelMidFlight(t *testing.T) {
 	e := newTestEngine(t)
 
-	h, err := e.SubmitLocationMonitoring("lm", Pt(30, 30), 10, 120, 5)
+	h, err := e.Submit(LocationMonitoringSpec{ID: "lm", Loc: Pt(30, 30), Duration: 10, Budget: 120, Samples: 5})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -118,9 +174,18 @@ func TestEngineCancelMidFlight(t *testing.T) {
 	if err := h.Cancel(); err != nil {
 		t.Fatalf("cancel: %v", err)
 	}
-	rs := collect(t, h)
-	if len(rs) != 2 {
-		t.Fatalf("got %d results before cancel, want 2", len(rs))
+	evs := drainEvents(t, h)
+	var results int
+	for _, ev := range evs {
+		if ev.Type == EventSlotUpdate {
+			results++
+		}
+	}
+	if results != 2 {
+		t.Fatalf("got %d results before cancel, want 2", results)
+	}
+	if last := evs[len(evs)-1]; last.Type != EventCanceled || !errors.Is(last.Err, ErrCanceled) {
+		t.Fatalf("terminal = %+v, want a Canceled frame carrying ErrCanceled", last)
 	}
 	if !errors.Is(h.Err(), ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", h.Err())
@@ -143,7 +208,7 @@ func TestEngineFanOut(t *testing.T) {
 
 	var handles []*QueryHandle
 	for i := 0; i < 10; i++ {
-		h, err := e.SubmitPoint(fmt.Sprintf("fan%d", i), Pt(30, 30), 20)
+		h, err := e.Submit(PointSpec{ID: fmt.Sprintf("fan%d", i), Loc: Pt(30, 30), Budget: 20})
 		if err != nil {
 			t.Fatalf("submit: %v", err)
 		}
@@ -175,11 +240,14 @@ func TestEngineGracefulShutdownDrainsContinuous(t *testing.T) {
 	e := NewEngine(NewAggregator(world))
 	e.Start()
 
-	h, err := e.SubmitLocationMonitoring("drain-lm", Pt(30, 30), 5, 120, 3)
+	h, err := e.Submit(LocationMonitoringSpec{ID: "drain-lm", Loc: Pt(30, 30), Duration: 5, Budget: 120, Samples: 3})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
-	hev, err := e.SubmitEventDetection("drain-ev", Pt(30, 30), 4, -1e9, 0.1, 30)
+	hev, err := e.Submit(EventDetectionSpec{
+		ID: "drain-ev", Loc: Pt(30, 30), Duration: 4,
+		Threshold: -1e9, Confidence: 0.1, BudgetPerSlot: 30,
+	})
 	if err != nil {
 		t.Fatalf("submit event: %v", err)
 	}
@@ -241,7 +309,7 @@ func TestEngineGracefulShutdownDrainsContinuous(t *testing.T) {
 	}
 
 	// After Stop every submission is refused.
-	if _, err := e.SubmitPoint("late", Pt(30, 30), 10); !errors.Is(err, ErrEngineStopped) {
+	if _, err := e.Submit(PointSpec{ID: "late", Loc: Pt(30, 30), Budget: 10}); !errors.Is(err, ErrEngineStopped) {
 		t.Fatalf("submit after stop = %v, want ErrEngineStopped", err)
 	}
 }
@@ -250,14 +318,23 @@ func TestEngineStopForceClosesBeyondDrainCap(t *testing.T) {
 	world := NewRWMWorld(4, 200, SensorConfig{})
 	e := NewEngine(NewAggregator(world), WithDrainSlots(2))
 	e.Start()
-	h, err := e.SubmitLocationMonitoring("long-lm", Pt(30, 30), 50, 600, 10)
+	h, err := e.Submit(LocationMonitoringSpec{ID: "long-lm", Loc: Pt(30, 30), Duration: 50, Budget: 600, Samples: 10})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	e.Stop()
-	rs := collect(t, h)
-	if len(rs) != 2 {
-		t.Fatalf("got %d results, want 2 (the drain cap)", len(rs))
+	evs := drainEvents(t, h)
+	var results int
+	for _, ev := range evs {
+		if ev.Type == EventSlotUpdate {
+			results++
+		}
+	}
+	if results != 2 {
+		t.Fatalf("got %d results, want 2 (the drain cap)", results)
+	}
+	if last := evs[len(evs)-1]; last.Type != EventCanceled || !errors.Is(last.Err, ErrEngineStopped) {
+		t.Fatalf("terminal = %+v, want Canceled with ErrEngineStopped", last)
 	}
 	if !errors.Is(h.Err(), ErrEngineStopped) {
 		t.Fatalf("err = %v, want ErrEngineStopped", h.Err())
@@ -268,11 +345,11 @@ func TestEngineBackpressure(t *testing.T) {
 	world := NewRWMWorld(5, 200, SensorConfig{})
 	e := NewEngine(NewAggregator(world), WithQueueSize(1))
 	// Engine not started: the queue fills up immediately.
-	h1, err := e.SubmitPoint("bp1", Pt(30, 30), 20)
+	h1, err := e.Submit(PointSpec{ID: "bp1", Loc: Pt(30, 30), Budget: 20})
 	if err != nil {
 		t.Fatalf("first submit: %v", err)
 	}
-	if _, err := e.SubmitPoint("bp2", Pt(30, 30), 20); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.Submit(PointSpec{ID: "bp2", Loc: Pt(30, 30), Budget: 20}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("second submit = %v, want ErrQueueFull", err)
 	}
 	if m := e.Metrics(); m.QueriesRejected != 1 {
@@ -299,19 +376,19 @@ func TestEngineBackpressure(t *testing.T) {
 
 func TestEngineDuplicateID(t *testing.T) {
 	e := newTestEngine(t)
-	h1, err := e.SubmitPoint("dup", Pt(30, 30), 20)
+	h1, err := e.Submit(PointSpec{ID: "dup", Loc: Pt(30, 30), Budget: 20})
 	if err != nil {
 		t.Fatalf("first submit: %v", err)
 	}
-	h2, err := e.SubmitPoint("dup", Pt(31, 31), 20)
+	h2, err := e.Submit(PointSpec{ID: "dup", Loc: Pt(31, 31), Budget: 20})
 	if err != nil {
 		t.Fatalf("second submit enqueue: %v", err)
 	}
 	if err := e.Flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
-	if rs := collect(t, h2); len(rs) != 0 {
-		t.Fatalf("duplicate got %d results, want 0", len(rs))
+	if evs := drainEvents(t, h2); len(evs) != 0 {
+		t.Fatalf("duplicate got %d events, want 0", len(evs))
 	}
 	if !errors.Is(h2.Err(), ErrDuplicateQueryID) {
 		t.Fatalf("duplicate err = %v, want ErrDuplicateQueryID", h2.Err())
@@ -330,20 +407,32 @@ func TestEngineRealClock(t *testing.T) {
 	e.Start()
 	defer e.Stop()
 
-	h, err := e.SubmitPoint("rt", Pt(30, 30), 20)
+	h, err := e.Submit(PointSpec{ID: "rt", Loc: Pt(30, 30), Budget: 20})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
-	select {
-	case r := <-h.Results():
-		if !r.Final {
-			t.Errorf("result = %+v, want Final", r)
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-h.Events():
+			if !ok {
+				t.Fatal("stream closed without a result")
+			}
+			if ev.Type == EventSlotUpdate {
+				if !ev.Result.Final {
+					t.Errorf("result = %+v, want Final", ev.Result)
+				}
+				if ev.At.IsZero() {
+					t.Error("event missing a publish timestamp")
+				}
+				if m := e.Metrics(); m.Slots == 0 || m.SlotLatencyMax == 0 {
+					t.Errorf("metrics not tracking the ticking clock: %+v", m)
+				}
+				return
+			}
+		case <-timeout:
+			t.Fatal("real-time clock never delivered a result")
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("real-time clock never delivered a result")
-	}
-	if m := e.Metrics(); m.Slots == 0 || m.SlotLatencyMax == 0 {
-		t.Errorf("metrics not tracking the ticking clock: %+v", m)
 	}
 }
 
@@ -357,10 +446,10 @@ func TestEngineSelectionStrategyAndStats(t *testing.T) {
 	t.Cleanup(e.Stop)
 
 	submitSlot := func(i int) {
-		if _, err := e.SubmitAggregate(fmt.Sprintf("agg%d", i), NewRect(20, 20, 45, 45), 300); err != nil {
+		if _, err := e.Submit(AggregateSpec{ID: fmt.Sprintf("agg%d", i), Region: NewRect(20, 20, 45, 45), Budget: 300}); err != nil {
 			t.Fatalf("submit aggregate: %v", err)
 		}
-		if _, err := e.SubmitPoint(fmt.Sprintf("pt%d", i), Pt(30, 30), 20); err != nil {
+		if _, err := e.Submit(PointSpec{ID: fmt.Sprintf("pt%d", i), Loc: Pt(30, 30), Budget: 20}); err != nil {
 			t.Fatalf("submit point: %v", err)
 		}
 		if err := e.RunSlots(1); err != nil {
@@ -410,7 +499,16 @@ func TestEngineContinuousWindowBindsAtMaterialization(t *testing.T) {
 	if err := e.RunSlots(duration + 2); err != nil {
 		t.Fatalf("RunSlots: %v", err)
 	}
-	rs := collect(t, h)
+	evs := drainEvents(t, h)
+	if evs[0].Type != EventAccepted || evs[0].Start != 3 || evs[0].End != 3+duration-1 {
+		t.Fatalf("accepted = %+v, want window [3, %d]", evs[0], 3+duration-1)
+	}
+	var rs []SlotResult
+	for _, ev := range evs {
+		if ev.Type == EventSlotUpdate {
+			rs = append(rs, ev.Result)
+		}
+	}
 	if len(rs) != duration {
 		t.Fatalf("got %d results, want the full %d-slot window", len(rs), duration)
 	}
@@ -436,11 +534,14 @@ func TestEngineSubmitSpecValidation(t *testing.T) {
 	if err := e.Flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
-	if rs := collect(t, h); len(rs) != 0 {
-		t.Fatalf("rejected spec produced %d results", len(rs))
+	if evs := drainEvents(t, h); len(evs) != 0 {
+		t.Fatalf("rejected spec produced %d events", len(evs))
 	}
 	if h.Err() == nil || !strings.Contains(h.Err().Error(), "negative budget") {
 		t.Fatalf("err = %v, want a validation error", h.Err())
+	}
+	if !errors.Is(h.Err(), ErrNegativeBudget) {
+		t.Fatalf("err = %v does not wrap ErrNegativeBudget", h.Err())
 	}
 	if _, err := e.Submit(nil); err == nil {
 		t.Fatal("Submit(nil) succeeded")
@@ -448,35 +549,21 @@ func TestEngineSubmitSpecValidation(t *testing.T) {
 	if m := e.Metrics(); m.QueriesRejected == 0 {
 		t.Error("rejected submission not counted")
 	}
-
-	// The deprecated wrappers keep their historical lenient semantics:
-	// inputs the strict Submit path rejects (negative k is clamped by the
-	// query constructor) still go live and deliver a result.
-	lh, err := e.SubmitMultiPoint("lenient-mp", Pt(30, 30), 10, -1)
-	if err != nil {
-		t.Fatalf("legacy submit: %v", err)
-	}
-	if err := e.RunSlots(1); err != nil {
-		t.Fatalf("RunSlots: %v", err)
-	}
-	if rs := collect(t, lh); len(rs) != 1 || lh.Err() != nil {
-		t.Fatalf("legacy wrapper got %d results, err %v; want 1 result, nil", len(rs), lh.Err())
-	}
 }
 
 func TestEngineRegionMonitoringNeedsGP(t *testing.T) {
 	e := newTestEngine(t) // RWM world: no GP model
-	h, err := e.SubmitRegionMonitoring("rm", NewRect(20, 20, 40, 40), 10, 100)
+	h, err := e.Submit(RegionMonitoringSpec{ID: "rm", Region: NewRect(20, 20, 40, 40), Duration: 10, Budget: 100})
 	if err != nil {
 		t.Fatalf("enqueue: %v", err)
 	}
 	if err := e.Flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
-	if rs := collect(t, h); len(rs) != 0 {
-		t.Fatalf("got %d results from a rejected query", len(rs))
+	if evs := drainEvents(t, h); len(evs) != 0 {
+		t.Fatalf("got %d events from a rejected query", len(evs))
 	}
-	if h.Err() == nil {
-		t.Fatal("expected a GP-model error via Err")
+	if !errors.Is(h.Err(), ErrNoGPModel) {
+		t.Fatalf("err = %v, want ErrNoGPModel", h.Err())
 	}
 }

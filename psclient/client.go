@@ -1,15 +1,30 @@
 // Package psclient is the Go SDK for the psserve HTTP API (package
-// serve): it submits query specs, polls per-slot results, cancels live
-// queries, lists the server's registry and reads engine metrics, speaking
-// the v1 wire envelope of package wire.
+// serve): it submits query specs (singly or in batches), streams
+// server-pushed per-slot events, polls, cancels live queries, lists the
+// server's registry and reads engine metrics — speaking the v1
+// submission envelope and the v2 event frames of package wire.
 //
 // Every call is context-aware; submissions transparently retry on HTTP
 // 429 (the server's ingest-queue backpressure signal) with exponential
-// backoff.
+// backoff. Result delivery is push-based: Stream follows a query's
+// event sequence (accepted → slot_update* → final|canceled) over one
+// long-lived GET /watch request, transparently reconnecting and
+// resuming from its last slot cursor if the connection drops.
 //
 //	c, err := psclient.Dial("http://localhost:8080")
 //	q, err := c.Submit(ctx, ps.PointSpec{ID: "p1", Loc: ps.Pt(30, 30), Budget: 15})
-//	st, err := q.PollUntilFinal(ctx, 100*time.Millisecond)
+//	st := q.Stream()
+//	defer st.Close()
+//	for {
+//		ev, err := st.Next(ctx)
+//		if err != nil { break } // psclient.ErrStreamEnded after the terminal frame
+//		fmt.Println(ev.Event, ev.Slot)
+//	}
+//
+// Server-side rejections carry stable machine-readable codes; the
+// returned *APIError unwraps to the matching ps sentinel, so
+// errors.Is(err, ps.ErrNegativeBudget) works across the network exactly
+// as it does against a local Aggregator.
 package psclient
 
 import (
@@ -29,15 +44,30 @@ import (
 )
 
 // APIError is a non-2xx response from the server, carrying the decoded
-// {"error": ...} body.
+// {"error": ..., "code": ...} body. When the server supplied a stable
+// error code, Unwrap exposes the matching ps sentinel error, so
+// errors.Is works across the network:
+//
+//	_, err := c.Submit(ctx, ps.PointSpec{ID: "p", Budget: -1})
+//	errors.Is(err, ps.ErrNegativeBudget) // true
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Code is the stable machine-readable error code (see wire.ErrorCode),
+	// empty when the server did not supply one.
+	Code string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("psclient: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Unwrap returns the ps sentinel error named by the response's code
+// (e.g. ps.ErrNegativeBudget, ps.ErrQueueFull), or nil for uncoded
+// errors.
+func (e *APIError) Unwrap() error {
+	return wire.SentinelError(e.Code)
 }
 
 // Client talks to one psserve daemon.
@@ -143,7 +173,7 @@ func checkStatus(resp *http.Response) *APIError {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
 		msg = eb.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: eb.Code}
 }
 
 func decodeBody(resp *http.Response, out any) error {
@@ -186,6 +216,41 @@ func (c *Client) Submit(ctx context.Context, spec ps.Spec) (*Query, error) {
 	return &Query{ID: ack.ID, Kind: spec.Kind(), c: c}, nil
 }
 
+// SubmitBatch submits up to wire.MaxBatch specs in one POST
+// /queries:batch request. The batch as a whole is retried on 429; each
+// spec is accepted or rejected independently — the returned verdicts are
+// index-aligned with specs, and rejected entries carry the server's
+// stable error code (reconstructable via wire.SentinelError). The error
+// is non-nil only when the batch itself failed (bad request, transport).
+func (c *Client) SubmitBatch(ctx context.Context, specs []ps.Spec) ([]wire.BatchResult, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("psclient: empty batch")
+	}
+	req := wire.BatchRequest{V: wire.Version2, Queries: make([]wire.Envelope, 0, len(specs))}
+	for i, spec := range specs {
+		if spec == nil {
+			return nil, fmt.Errorf("psclient: nil spec at batch index %d", i)
+		}
+		env, err := wire.FromSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("psclient: batch index %d: %w", i, err)
+		}
+		req.Queries = append(req.Queries, env)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/queries:batch", body, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(specs) {
+		return nil, fmt.Errorf("psclient: batch returned %d verdicts for %d specs", len(resp.Results), len(specs))
+	}
+	return resp.Results, nil
+}
+
 // Get fetches a query's status and accumulated per-slot results.
 func (c *Client) Get(ctx context.Context, id string) (*wire.QueryStatus, error) {
 	var st wire.QueryStatus
@@ -203,6 +268,10 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 // PollUntilFinal polls a query's status every interval until the server
 // marks it done (final result delivered, canceled, or rejected), the
 // context expires, or a request fails. interval <= 0 defaults to 100ms.
+//
+// Deprecated: use Stream — the server pushes results as they happen,
+// so there is no polling interval to tune and no redundant GETs; this
+// helper remains for clients that cannot hold a streaming connection.
 func (c *Client) PollUntilFinal(ctx context.Context, id string, interval time.Duration) (*wire.QueryStatus, error) {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
@@ -288,6 +357,14 @@ func (q *Query) Cancel(ctx context.Context) error {
 
 // PollUntilFinal polls until the query finishes (see
 // Client.PollUntilFinal).
+//
+// Deprecated: use Stream.
 func (q *Query) PollUntilFinal(ctx context.Context, interval time.Duration) (*wire.QueryStatus, error) {
 	return q.c.PollUntilFinal(ctx, q.ID, interval)
+}
+
+// Stream opens the query's server-pushed event stream (see
+// Client.Stream).
+func (q *Query) Stream(opts ...StreamOption) *Stream {
+	return q.c.Stream(q.ID, opts...)
 }

@@ -2,7 +2,9 @@ package psclient
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -10,6 +12,7 @@ import (
 
 	ps "repro"
 	"repro/serve"
+	"repro/wire"
 )
 
 // newLiveStack runs the real serve handler over a real-clock engine, so
@@ -243,5 +246,309 @@ func TestDialRejectsBadURLs(t *testing.T) {
 		if got := c.base.String(); got != "http://h:8080" {
 			t.Errorf("Dial(%q) base = %q, want trailing slashes stripped", raw, got)
 		}
+	}
+}
+
+// --- push delivery (wire v2) ---
+
+// TestClientStreamEndToEnd: a one-shot query streamed to its final
+// frame via the All iterator, and a continuous query streamed through a
+// mid-flight cancel, all over the real HTTP handler with a ticking
+// clock and zero polling.
+func TestClientStreamEndToEnd(t *testing.T) {
+	c := newLiveStack(t)
+	ctx := testCtx(t)
+
+	q, err := c.Submit(ctx, ps.PointSpec{ID: "st-pt", Loc: ps.Pt(30, 30), Budget: 20})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st := q.Stream()
+	defer st.Close()
+	var events []wire.EventFrame
+	for ev, err := range st.All(ctx) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 3 {
+		t.Fatalf("events = %+v, want at least accepted, slot_update, final", events)
+	}
+	if events[0].Event != wire.FrameAccepted {
+		t.Errorf("first frame = %+v, want accepted", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Event != wire.FrameFinal {
+		t.Errorf("last frame = %+v, want final", last)
+	}
+	sawFinalResult := false
+	for _, ev := range events {
+		if ev.Event == wire.FrameSlotUpdate && ev.Result != nil && ev.Result.Final {
+			sawFinalResult = true
+		}
+	}
+	if !sawFinalResult {
+		t.Error("no slot_update carried the final result")
+	}
+	// After the terminal, the stream is over.
+	if _, err := st.Next(ctx); !errors.Is(err, ErrStreamEnded) {
+		t.Errorf("Next after terminal = %v, want ErrStreamEnded", err)
+	}
+
+	// Continuous + cancel: the watcher sees the canceled terminal with
+	// the stable code.
+	lm, err := c.Submit(ctx, ps.LocationMonitoringSpec{ID: "st-lm", Loc: ps.Pt(30, 30), Duration: 10_000, Budget: 500, Samples: 5})
+	if err != nil {
+		t.Fatalf("submit lm: %v", err)
+	}
+	lst := lm.Stream()
+	defer lst.Close()
+	updates := 0
+	for {
+		ev, err := lst.Next(ctx)
+		if err != nil {
+			t.Fatalf("lm stream: %v", err)
+		}
+		if ev.Event == wire.FrameSlotUpdate {
+			updates++
+			if updates == 3 {
+				if err := lm.Cancel(ctx); err != nil {
+					t.Fatalf("cancel: %v", err)
+				}
+			}
+		}
+		if ev.Terminal() {
+			if ev.Event != wire.FrameCanceled || ev.Code != wire.CodeCanceled {
+				t.Fatalf("terminal = %+v, want canceled/%s", ev, wire.CodeCanceled)
+			}
+			break
+		}
+	}
+	if updates < 3 {
+		t.Fatalf("saw %d updates before terminal, want >= 3", updates)
+	}
+}
+
+// TestClientStreamReconnectResume: a stream cut mid-flight re-dials
+// with its last cursor and the caller sees every slot exactly once.
+func TestClientStreamReconnectResume(t *testing.T) {
+	var requests []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests = append(requests, r.URL.RawQuery)
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		cursor := r.URL.Query().Get("cursor")
+		switch len(requests) {
+		case 1:
+			if cursor != "" {
+				t.Errorf("first dial carried cursor %q", cursor)
+			}
+			// accepted + slots 0,1, then drop the connection mid-stream.
+			fmt.Fprintln(w, `{"v":2,"event":"accepted","id":"rq","slot":-1,"start":0,"end":3}`)
+			fmt.Fprintln(w, `{"v":2,"event":"slot_update","id":"rq","slot":0,"result":{"slot":0,"answered":true,"value":2,"payment":1,"final":false}}`)
+			fmt.Fprintln(w, `{"v":2,"event":"slot_update","id":"rq","slot":1,"result":{"slot":1,"answered":true,"value":2,"payment":1,"final":false}}`)
+			fl.Flush()
+		default:
+			if cursor != "1" {
+				t.Errorf("re-dial carried cursor %q, want 1", cursor)
+			}
+			fmt.Fprintln(w, `{"v":2,"event":"slot_update","id":"rq","slot":2,"result":{"slot":2,"answered":true,"value":2,"payment":1,"final":false}}`)
+			fmt.Fprintln(w, `{"v":2,"event":"slot_update","id":"rq","slot":3,"result":{"slot":3,"answered":true,"value":2,"payment":1,"final":true}}`)
+			fmt.Fprintln(w, `{"v":2,"event":"final","id":"rq","slot":3}`)
+			fl.Flush()
+		}
+	}))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stream("rq")
+	defer st.Close()
+	var slots []int
+	var sawFinal bool
+	for ev, err := range st.All(context.Background()) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		switch ev.Event {
+		case wire.FrameSlotUpdate:
+			slots = append(slots, ev.Slot)
+		case wire.FrameFinal:
+			sawFinal = true
+		}
+	}
+	want := []int{0, 1, 2, 3}
+	if len(slots) != len(want) {
+		t.Fatalf("slots = %v, want %v (requests %v)", slots, want, requests)
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", slots, want)
+		}
+	}
+	if !sawFinal || len(requests) != 2 {
+		t.Fatalf("final %v after %d requests, want true after 2", sawFinal, len(requests))
+	}
+	if cur, ok := st.Cursor(); !ok || cur != 3 {
+		t.Errorf("Cursor() = %d, %v; want 3, true", cur, ok)
+	}
+}
+
+// TestClientStreamServerGone: when the server stays down, the reconnect
+// budget is finite and Next surfaces the failure instead of spinning.
+func TestClientStreamServerGone(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"v":2,"event":"accepted","id":"g","slot":-1,"start":0,"end":9}`)
+	}))
+	c, err := Dial(ts.URL, WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stream("g")
+	defer st.Close()
+	ctx := testCtx(t)
+	if ev, err := st.Next(ctx); err != nil || ev.Event != wire.FrameAccepted {
+		t.Fatalf("first frame = %+v, %v", ev, err)
+	}
+	ts.Close() // server vanishes for good
+	if _, err := st.Next(ctx); err == nil {
+		t.Fatal("Next kept succeeding against a dead server")
+	}
+	// The failure is sticky.
+	if _, err := st.Next(ctx); err == nil {
+		t.Fatal("error did not stick")
+	}
+}
+
+// TestClientSubmitBatch: one request, per-spec verdicts, rejected
+// entries reconstructable as sentinel errors.
+func TestClientSubmitBatch(t *testing.T) {
+	c := newLiveStack(t)
+	ctx := testCtx(t)
+
+	verdicts, err := c.SubmitBatch(ctx, []ps.Spec{
+		ps.PointSpec{ID: "bt-1", Loc: ps.Pt(30, 30), Budget: 20},
+		ps.PointSpec{ID: "bt-2", Loc: ps.Pt(31, 31), Budget: -1},
+		ps.MultiPointSpec{ID: "bt-3", Loc: ps.Pt(32, 32), Budget: 50, K: -2},
+		ps.PointSpec{Loc: ps.Pt(33, 33), Budget: 10},
+	})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(verdicts) != 4 {
+		t.Fatalf("got %d verdicts, want 4", len(verdicts))
+	}
+	if verdicts[0].Status != "accepted" || verdicts[0].ID != "bt-1" {
+		t.Errorf("verdict 0 = %+v", verdicts[0])
+	}
+	if !errors.Is(wire.SentinelError(verdicts[1].Code), ps.ErrNegativeBudget) {
+		t.Errorf("verdict 1 code %q does not name ErrNegativeBudget", verdicts[1].Code)
+	}
+	if !errors.Is(wire.SentinelError(verdicts[2].Code), ps.ErrNegativeRedundancy) {
+		t.Errorf("verdict 2 code %q does not name ErrNegativeRedundancy", verdicts[2].Code)
+	}
+	if verdicts[3].Status != "accepted" || verdicts[3].ID == "" {
+		t.Errorf("auto-ID verdict = %+v", verdicts[3])
+	}
+
+	// The accepted specs stream to completion.
+	st := c.Stream(verdicts[3].ID)
+	defer st.Close()
+	for ev, err := range st.All(ctx) {
+		if err != nil {
+			t.Fatalf("stream %s: %v", verdicts[3].ID, err)
+		}
+		if ev.Terminal() && ev.Event != wire.FrameFinal {
+			t.Fatalf("terminal = %+v, want final", ev)
+		}
+	}
+
+	if _, err := c.SubmitBatch(ctx, nil); err == nil {
+		t.Error("empty SubmitBatch succeeded")
+	}
+}
+
+// TestClientSentinelReconstruction is the errors.Is contract across the
+// network: for every coded rejection the server can produce, the
+// client-side error satisfies errors.Is against the same ps sentinel a
+// local caller would see.
+func TestClientSentinelReconstruction(t *testing.T) {
+	// Table part: a fake server returning each code; the APIError must
+	// unwrap to exactly that sentinel. This covers sentinels that are
+	// hard to trigger through a live stack (e.g. empty_query_id, which
+	// the server normally papers over with an auto-ID).
+	codes := map[string]error{
+		wire.CodeEmptyQueryID:       ps.ErrEmptyQueryID,
+		wire.CodeNegativeBudget:     ps.ErrNegativeBudget,
+		wire.CodeBadDuration:        ps.ErrBadDuration,
+		wire.CodeBadTrajectory:      ps.ErrBadTrajectory,
+		wire.CodeNegativeRedundancy: ps.ErrNegativeRedundancy,
+		wire.CodeNegativeSamples:    ps.ErrNegativeSamples,
+		wire.CodeNoGPModel:          ps.ErrNoGPModel,
+		wire.CodeQueueFull:          ps.ErrQueueFull,
+		wire.CodeEngineStopped:      ps.ErrEngineStopped,
+		wire.CodeDuplicateQueryID:   ps.ErrDuplicateQueryID,
+		wire.CodeCanceled:           ps.ErrCanceled,
+		wire.CodeUnknownQuery:       ps.ErrUnknownQuery,
+	}
+	var code string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(wire.ErrorBody{Error: "synthetic " + code, Code: code})
+	}))
+	defer ts.Close()
+	c, err := Dial(ts.URL, WithRetry(0, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for code_, sentinel := range codes {
+		code = code_
+		_, err := c.Get(context.Background(), "x")
+		if !errors.Is(err, sentinel) {
+			t.Errorf("code %q: errors.Is(%v, %v) = false", code, err, sentinel)
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != code {
+			t.Errorf("code %q: lost on the APIError: %+v", code, apiErr)
+		}
+		// Reconstruction is exact, not a catch-all: no foreign sentinel
+		// matches.
+		for otherCode, other := range codes {
+			if otherCode != code && errors.Is(err, other) {
+				t.Errorf("code %q also matches %v", code, other)
+			}
+		}
+	}
+
+	// Live part: real validation rejections produced by the serve stack.
+	live := newLiveStack(t)
+	ctx := testCtx(t)
+	for _, tc := range []struct {
+		spec ps.Spec
+		want error
+	}{
+		{ps.PointSpec{ID: "neg", Loc: ps.Pt(30, 30), Budget: -1}, ps.ErrNegativeBudget},
+		{ps.LocationMonitoringSpec{ID: "dur", Loc: ps.Pt(30, 30), Duration: 0, Budget: 10}, ps.ErrBadDuration},
+		{ps.TrajectorySpec{ID: "tr", Budget: 10}, ps.ErrBadTrajectory},
+		{ps.MultiPointSpec{ID: "mp", Loc: ps.Pt(30, 30), Budget: 10, K: -1}, ps.ErrNegativeRedundancy},
+		{ps.LocationMonitoringSpec{ID: "smp", Loc: ps.Pt(30, 30), Duration: 5, Budget: 10, Samples: -1}, ps.ErrNegativeSamples},
+		{ps.RegionMonitoringSpec{ID: "rm", Region: ps.NewRect(20, 20, 40, 40), Duration: 5, Budget: 10}, ps.ErrNoGPModel},
+	} {
+		_, err := live.Submit(ctx, tc.spec)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("live %T: errors.Is(%v, %v) = false", tc.spec, err, tc.want)
+		}
+	}
+	// Duplicate live ID.
+	if _, err := live.Submit(ctx, ps.LocationMonitoringSpec{ID: "dup", Loc: ps.Pt(30, 30), Duration: 10_000, Budget: 100, Samples: 2}); err != nil {
+		t.Fatalf("first dup submit: %v", err)
+	}
+	_, err = live.Submit(ctx, ps.LocationMonitoringSpec{ID: "dup", Loc: ps.Pt(30, 30), Duration: 10_000, Budget: 100, Samples: 2})
+	if !errors.Is(err, ps.ErrDuplicateQueryID) {
+		t.Errorf("duplicate live id: errors.Is(%v, ErrDuplicateQueryID) = false", err)
 	}
 }

@@ -1,30 +1,47 @@
 // Package serve implements the psserve HTTP API over a streaming
-// ps.Engine: query submission and polling, cancellation, registry
-// listing, engine metrics and runtime strategy switching. The cmd/psserve
-// daemon is a thin flag-parsing wrapper around it; tests and the psclient
-// SDK run the same handler behind net/http/httptest.
+// ps.Engine: query submission (single and batch), server-pushed result
+// streams, polling, cancellation, registry listing, engine metrics and
+// runtime strategy switching. The cmd/psserve daemon is a thin
+// flag-parsing wrapper around it; tests and the psclient SDK run the
+// same handler behind net/http/httptest.
 //
 // Endpoints:
 //
-//	POST   /query        submit a query (legacy or v1-envelope JSON body,
-//	                     see package wire)
-//	GET    /query/{id}   status + accumulated per-slot results
-//	DELETE /query/{id}   cancel a pending or continuous query
-//	GET    /queries      paginated registry listing (?offset=&limit=)
-//	GET    /metrics      engine-wide metrics snapshot (incl. valuation-
-//	                     call and lazy-heap counters of the greedy core)
-//	GET    /strategy     current candidate-evaluation strategy
-//	POST   /strategy     switch it at runtime ({"strategy":"lazy"})
-//	GET    /healthz      liveness + current slot
+//	POST   /query          submit a query (legacy or v1-envelope JSON
+//	                       body, see package wire)
+//	POST   /queries:batch  submit up to wire.MaxBatch specs in one
+//	                       request; per-spec accept/reject verdicts
+//	GET    /watch?id=&cursor=
+//	                       server-pushed event stream (NDJSON, or SSE
+//	                       with Accept: text/event-stream): v2 frames
+//	                       accepted → slot_update* → final|canceled,
+//	                       resumable from a slot cursor after reconnect
+//	GET    /query/{id}     status + accumulated per-slot results (poll)
+//	DELETE /query/{id}     cancel a pending or continuous query
+//	GET    /queries        paginated registry listing (?offset=&limit=)
+//	GET    /metrics        engine-wide metrics snapshot (incl. event
+//	                       delivery and valuation-call counters)
+//	GET    /strategy       current candidate-evaluation strategy
+//	POST   /strategy       switch it at runtime ({"strategy":"lazy"})
+//	GET    /healthz        liveness + current slot
+//
+// Graceful shutdown: Server.Shutdown refuses new submissions (503 with
+// code "server_closing") and ends every open watch stream with a
+// terminal server_closing frame; the daemon then drains the HTTP server
+// and stops the engine.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,11 +65,12 @@ type Options struct {
 }
 
 // Server owns the HTTP-side query registry. Each accepted query gets a
-// consumer goroutine moving results from its subscription into the
-// registry, so slow or absent HTTP pollers never block the slot clock.
-// Finished records stay pollable for the retention window, then are
-// evicted by an amortized sweep on the submit path — the registry stays
-// bounded on a long-lived daemon.
+// consumer goroutine moving its event stream into the registry record,
+// so slow or absent HTTP consumers never block the slot clock; watch
+// streams replay history from the record and then follow the live
+// engine subscription. Finished records stay pollable for the retention
+// window, then are evicted by an amortized sweep on the submit path —
+// the registry stays bounded on a long-lived daemon.
 type Server struct {
 	eng    *ps.Engine
 	world  *ps.World
@@ -65,6 +83,11 @@ type Server struct {
 	// display; writes go through POST /strategy.
 	strategy atomic.Int32
 
+	// closing is closed by Shutdown: submissions 503 and watch streams
+	// end with a server_closing frame.
+	closing   chan struct{}
+	closeOnce sync.Once
+
 	mu      sync.Mutex
 	queries map[string]*queryRecord
 	submits int
@@ -74,7 +97,8 @@ type Server struct {
 const sweepEvery = 256
 
 // maxResultsPerQuery caps the per-record result history of long-lived
-// continuous queries; older entries are discarded and counted.
+// continuous queries; older entries are discarded and surfaced as a gap
+// to watchers resuming from before the retained window.
 const maxResultsPerQuery = 1024
 
 // defaultListLimit and maxListLimit bound GET /queries pages.
@@ -82,6 +106,9 @@ const (
 	defaultListLimit = 100
 	maxListLimit     = 1000
 )
+
+// noCursor is the watch cursor meaning "from the beginning".
+const noCursor = math.MinInt32
 
 // New builds a Server over a started engine and its world.
 func New(eng *ps.Engine, world *ps.World, opts Options) *Server {
@@ -92,7 +119,13 @@ func New(eng *ps.Engine, world *ps.World, opts Options) *Server {
 	if opts.NoRetention {
 		retain = 0
 	}
-	s := &Server{eng: eng, world: world, retain: retain, queries: make(map[string]*queryRecord)}
+	s := &Server{
+		eng:     eng,
+		world:   world,
+		retain:  retain,
+		closing: make(chan struct{}),
+		queries: make(map[string]*queryRecord),
+	}
 	s.strategy.Store(int32(opts.Strategy))
 	return s
 }
@@ -101,6 +134,8 @@ func New(eng *ps.Engine, world *ps.World, opts Options) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleSubmit)
+	mux.HandleFunc("POST /queries:batch", s.handleBatch)
+	mux.HandleFunc("GET /watch", s.handleWatch)
 	mux.HandleFunc("GET /query/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
 	mux.HandleFunc("GET /queries", s.handleList)
@@ -109,6 +144,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /strategy", s.handleSetStrategy)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// Shutdown transitions the server into draining: new submissions are
+// refused with 503 (code "server_closing") and every open watch stream
+// is ended with a terminal server_closing frame. Call it before
+// http.Server.Shutdown — which then waits for the streams to unwind —
+// and before Engine.Stop. Idempotent.
+func (s *Server) Shutdown() {
+	s.closeOnce.Do(func() { close(s.closing) })
+}
+
+func (s *Server) isClosing() bool {
+	select {
+	case <-s.closing:
+		return true
+	default:
+		return false
+	}
 }
 
 // sweepLocked evicts finished records past the retention window. Caller
@@ -125,24 +178,132 @@ func (s *Server) sweepLocked() {
 	}
 }
 
+// queryRecord accumulates one query's event stream on the HTTP side: the
+// accepted window, a bounded history of slot_update and gap frames in
+// stream order (with a count of what fell out of it), the terminal
+// state, and a broadcast channel watchers wait on for appends.
 type queryRecord struct {
 	id  string
 	typ string
 
-	mu        sync.Mutex
-	results   []wire.Result
-	truncated int // results discarded beyond maxResultsPerQuery
-	done      bool
-	doneAt    time.Time
-	errMsg    string
+	mu sync.Mutex
+	// live is set by the first event: the query went live. windowKnown
+	// is set by the Accepted event specifically — under extreme consumer
+	// stall the hub may have evicted it, in which case the window is
+	// unknown but the record must still serve watchers.
+	live        bool
+	windowKnown bool
+	start, end  int
+	acceptedTS  int64
+	// frames holds the retained slot_update and gap frames in stream
+	// order, so replay reproduces mid-stream gaps at their position.
+	frames []wire.EventFrame
+	// missing counts slot_updates no longer replayable: evicted beyond
+	// the history cap (gap frames evicted from it fold their Dropped
+	// count in). All of them predate the oldest retained frame.
+	missing int
+	// slotUpdates counts the slot_update frames currently retained, so
+	// listings don't rescan the history.
+	slotUpdates int
+	// lastCursor is the slot cursor of the last applied event; watchers
+	// use it to know when the record covers their live-attach boundary.
+	lastCursor int
+	done       bool
+	canceled   bool
+	errMsg     string
+	errCode    string
+	termTS     int64
+	doneAt     time.Time
+	// updated is closed and replaced on every applied event; watchers
+	// re-snapshot when it fires.
+	updated chan struct{}
 
 	handle *ps.QueryHandle
+}
+
+func newQueryRecord(id, typ string) *queryRecord {
+	return &queryRecord{id: id, typ: typ, lastCursor: noCursor, updated: make(chan struct{})}
 }
 
 func (r *queryRecord) isDone() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.done
+}
+
+// notifyLocked wakes every watcher waiting for record progress. Caller
+// holds r.mu.
+func (r *queryRecord) notifyLocked() {
+	close(r.updated)
+	r.updated = make(chan struct{})
+}
+
+// appendFrameLocked retains one slot_update or gap frame, evicting the
+// oldest past the history cap (an evicted gap folds its count into
+// missing). Caller holds r.mu.
+func (r *queryRecord) appendFrameLocked(f wire.EventFrame) {
+	if len(r.frames) >= maxResultsPerQuery {
+		old := r.frames[0]
+		r.frames = r.frames[1:]
+		if old.Event == wire.FrameGap {
+			r.missing += old.Dropped
+		} else {
+			r.missing++
+			r.slotUpdates--
+		}
+	}
+	r.frames = append(r.frames, f)
+	if f.Event == wire.FrameSlotUpdate {
+		r.slotUpdates++
+	}
+}
+
+// consume moves the subscription's event stream into the record until it
+// closes.
+func (r *queryRecord) consume() {
+	for ev := range r.handle.Events() {
+		r.mu.Lock()
+		r.live = true
+		switch ev.Type {
+		case ps.EventAccepted:
+			r.windowKnown, r.start, r.end = true, ev.Start, ev.End
+			r.acceptedTS = ev.At.UnixNano()
+		case ps.EventSlotUpdate, ps.EventGap:
+			if f, err := wire.FrameFromEvent(ev); err == nil {
+				r.appendFrameLocked(f)
+			}
+		case ps.EventFinal:
+			r.done = true
+			r.doneAt = time.Now()
+			r.termTS = ev.At.UnixNano()
+		case ps.EventCanceled:
+			r.done, r.canceled = true, true
+			r.doneAt = time.Now()
+			r.termTS = ev.At.UnixNano()
+			if ev.Err != nil {
+				r.errMsg, r.errCode = ev.Err.Error(), wire.ErrorCode(ev.Err)
+			}
+		}
+		if ev.Slot > r.lastCursor {
+			r.lastCursor = ev.Slot
+		}
+		r.notifyLocked()
+		r.mu.Unlock()
+	}
+	// Stream closed. For a submission that never went live (duplicate ID
+	// racing past the registry reservation) no terminal event was
+	// published; fold the subscription error into the record.
+	r.mu.Lock()
+	if !r.done {
+		r.done = true
+		r.doneAt = time.Now()
+		if err := r.handle.Err(); err != nil {
+			r.errMsg, r.errCode = err.Error(), wire.ErrorCode(err)
+			r.canceled = true
+		}
+		r.notifyLocked()
+	}
+	r.mu.Unlock()
 }
 
 // nextAutoID returns the next server-assigned query ID, skipping every
@@ -163,39 +324,36 @@ func (s *Server) nextAutoID() string {
 	}
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var env wire.Envelope
-	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
+// submitEnvelope is the shared single-spec submission path behind
+// POST /query and POST /queries:batch: decode, validate, reserve the
+// registry slot, submit to the engine, start the record consumer. It
+// returns the (possibly server-assigned) query ID, the HTTP status a
+// standalone submission maps to, and the error.
+func (s *Server) submitEnvelope(env wire.Envelope) (id string, status int, err error) {
 	if env.ID == "" {
 		env.ID = s.nextAutoID()
 	}
 	spec, err := env.Spec()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return env.ID, http.StatusBadRequest, err
 	}
-	// Validate up front so the client gets a synchronous 400 instead of a
-	// 202 whose subscription can never produce results. The world's
-	// static configuration (GP model, bounds) is immutable, so reading it
-	// off the loop goroutine is safe.
+	// Validate up front so the client gets a synchronous rejection
+	// instead of an accepted ID whose stream opens just to fail. The
+	// world's static configuration (GP model, bounds) is immutable, so
+	// reading it off the loop goroutine is safe.
 	if err := spec.Validate(s.world); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return env.ID, http.StatusBadRequest, err
 	}
-	id := spec.QueryID()
+	id = spec.QueryID()
 
 	// Reserve the registry slot before submitting so a duplicate ID can
 	// never orphan a live query's record; finished IDs may be reused.
-	rec := &queryRecord{id: id, typ: spec.Kind().String()}
+	rec := newQueryRecord(id, spec.Kind().String())
 	s.mu.Lock()
 	old := s.queries[id]
 	if old != nil && !old.isDone() {
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "query %q already exists", id)
-		return
+		return id, http.StatusConflict, fmt.Errorf("query %q already exists: %w", id, ps.ErrDuplicateQueryID)
 	}
 	s.queries[id] = rec
 	s.submits++
@@ -215,45 +373,357 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			delete(s.queries, id)
 		}
 		s.mu.Unlock()
+		// A watcher may have grabbed the reserved record in the window
+		// before the rollback; terminate it instead of leaving the
+		// stream waiting forever on a record no consumer will ever feed.
+		rec.mu.Lock()
+		rec.done, rec.canceled = true, true
+		rec.doneAt = time.Now()
+		rec.errMsg, rec.errCode = err.Error(), wire.ErrorCode(err)
+		rec.notifyLocked()
+		rec.mu.Unlock()
 		status := http.StatusBadRequest
-		if err == ps.ErrQueueFull {
+		if errors.Is(err, ps.ErrQueueFull) {
 			status = http.StatusTooManyRequests
-		} else if err == ps.ErrEngineStopped {
+		} else if errors.Is(err, ps.ErrEngineStopped) {
 			status = http.StatusServiceUnavailable
 		}
-		httpError(w, status, "%v", err)
-		return
+		return id, status, err
 	}
 	rec.mu.Lock()
 	rec.handle = h
 	rec.mu.Unlock()
 	go rec.consume()
+	return id, http.StatusAccepted, nil
+}
 
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isClosing() {
+		httpErrorCoded(w, http.StatusServiceUnavailable, wire.CodeServerClosing, "server closing")
+		return
+	}
+	var env wire.Envelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	id, status, err := s.submitEnvelope(env)
+	if err != nil {
+		httpErrorCoded(w, status, wire.ErrorCode(err), "%v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, wire.SubmitAck{ID: id, Status: "accepted"})
 }
 
-// consume moves subscription results into the record until the stream
-// closes.
-func (r *queryRecord) consume() {
-	for res := range r.handle.Results() {
-		j := wire.ResultFromSlot(res)
-		r.mu.Lock()
-		if len(r.results) >= maxResultsPerQuery {
-			r.results = r.results[1:]
-			r.truncated++
+// handleBatch serves POST /queries:batch: N submission envelopes in one
+// request, each accepted or rejected independently. The HTTP status is
+// 200 whenever the batch itself is well-formed; per-spec verdicts (with
+// stable error codes) are index-aligned with the request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.isClosing() {
+		httpErrorCoded(w, http.StatusServiceUnavailable, wire.CodeServerClosing, "server closing")
+		return
+	}
+	var req wire.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.V != 0 && req.V != wire.Version2 {
+		httpError(w, http.StatusBadRequest, "unsupported batch version %d (this build speaks v%d)", req.V, wire.Version2)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, `empty batch: no "queries"`)
+		return
+	}
+	if len(req.Queries) > wire.MaxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-spec limit", len(req.Queries), wire.MaxBatch)
+		return
+	}
+	resp := wire.BatchResponse{V: wire.Version2, Results: make([]wire.BatchResult, 0, len(req.Queries))}
+	for _, env := range req.Queries {
+		id, _, err := s.submitEnvelope(env)
+		if err != nil {
+			resp.Rejected++
+			resp.Results = append(resp.Results, wire.BatchResult{
+				ID: id, Status: "rejected", Code: wire.ErrorCode(err), Error: err.Error(),
+			})
+			continue
 		}
-		r.results = append(r.results, j)
-		r.mu.Unlock()
+		resp.Accepted++
+		resp.Results = append(resp.Results, wire.BatchResult{ID: id, Status: "accepted"})
 	}
-	r.mu.Lock()
-	r.done = true
-	r.doneAt = time.Now()
-	if err := r.handle.Err(); err != nil {
-		r.errMsg = err.Error()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, resp)
+}
+
+// frameWriter writes v2 event frames in the negotiated stream format
+// (NDJSON by default, SSE when the client asked for text/event-stream)
+// and flushes after every frame so push latency is one frame, not one
+// buffer.
+type frameWriter struct {
+	w   http.ResponseWriter
+	fl  http.Flusher
+	sse bool
+	err error
+}
+
+func (fw *frameWriter) write(f wire.EventFrame) bool {
+	if fw.err != nil {
+		return false
 	}
-	r.mu.Unlock()
+	buf, err := wire.MarshalEventFrame(f)
+	if err != nil {
+		fw.err = err
+		return false
+	}
+	if fw.sse {
+		_, fw.err = fmt.Fprintf(fw.w, "data: %s\n\n", buf)
+	} else {
+		_, fw.err = fmt.Fprintf(fw.w, "%s\n", buf)
+	}
+	if fw.err == nil {
+		fw.fl.Flush()
+	}
+	return fw.err == nil
+}
+
+// handleWatch serves GET /watch?id=...&cursor=...: the query's event
+// stream, pushed as NDJSON lines (or SSE events). History up to the live
+// attach point is replayed from the registry record — so a client
+// reconnecting with its last cursor misses nothing the record still
+// retains (anything older surfaces as a gap frame) — and everything
+// after it is followed live from an engine subscription. The stream ends
+// with the query's terminal frame, or with a server_closing frame on
+// graceful shutdown.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, `missing "id"`)
+		return
+	}
+	cursor := noCursor
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		c, err := strconv.Atoi(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad cursor %q", raw)
+			return
+		}
+		cursor = c
+	}
+	rec := s.record(id)
+	if rec == nil {
+		httpErrorCoded(w, http.StatusNotFound, wire.CodeUnknownQuery, "unknown query %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+
+	// Attach the live subscription BEFORE snapshotting the record: every
+	// event is then either covered by the record replay (cursor <= the
+	// subscription's join boundary, which the record is waited up to) or
+	// delivered by the subscription — none can fall between.
+	sub, err := s.eng.Watch(id)
+	if err == nil {
+		defer sub.Close()
+	} else {
+		sub = nil // finished (or never live): serve entirely from the record
+	}
+
+	fw := &frameWriter{w: w, fl: fl, sse: strings.Contains(r.Header.Get("Accept"), "text/event-stream")}
+	if fw.sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	ctx := r.Context()
+	if sub == nil {
+		s.streamFromRecord(ctx, rec, cursor, fw)
+		return
+	}
+
+	boundary := sub.JoinCursor()
+	// Wait for the record to cover everything published before the
+	// subscription attached.
+	for {
+		rec.mu.Lock()
+		ready := rec.done || (rec.live && rec.lastCursor >= boundary)
+		updated := rec.updated
+		rec.mu.Unlock()
+		if ready {
+			break
+		}
+		select {
+		case <-updated:
+		case <-ctx.Done():
+			return
+		case <-s.closing:
+			fw.write(wire.ServerClosingFrame())
+			return
+		}
+	}
+	sent, ok := s.replayHistory(rec, cursor, boundary, fw)
+	if !ok {
+		return
+	}
+
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				// The engine closed the stream; the terminal frame (if
+				// any) was already delivered above.
+				return
+			}
+			if ev.Type == ps.EventAccepted {
+				continue // replayed from the record already
+			}
+			if ev.Type == ps.EventSlotUpdate && ev.Slot <= sent {
+				continue
+			}
+			f, err := wire.FrameFromEvent(ev)
+			if err != nil {
+				continue
+			}
+			if !fw.write(f) {
+				return
+			}
+			if f.Terminal() {
+				return
+			}
+		case <-ctx.Done():
+			return
+		case <-s.closing:
+			fw.write(wire.ServerClosingFrame())
+			return
+		}
+	}
+}
+
+// replayHistory writes the record's frames with cursor in (after,
+// upTo] — the accepted frame, a gap covering anything evicted past the
+// retained window, and the retained slot_update/gap frames in stream
+// order. Returns the last cursor written (or after) and whether the
+// stream is still writable.
+func (s *Server) replayHistory(rec *queryRecord, after, upTo int, fw *frameWriter) (int, bool) {
+	rec.mu.Lock()
+	windowKnown := rec.windowKnown
+	start, end := rec.start, rec.end
+	acceptedTS := rec.acceptedTS
+	missing := rec.missing
+	frames := make([]wire.EventFrame, len(rec.frames))
+	copy(frames, rec.frames)
+	rec.mu.Unlock()
+
+	sent := after
+	if windowKnown && start-1 > after && start-1 <= upTo {
+		if !fw.write(wire.EventFrame{
+			V: wire.Version2, Event: wire.FrameAccepted, ID: rec.id,
+			Slot: start - 1, Start: start, End: end, TS: acceptedTS,
+		}) {
+			return sent, false
+		}
+		sent = start - 1
+	}
+	if missing > 0 {
+		// Everything evicted past the cap predates the oldest retained
+		// frame; only a client resuming from before that window has
+		// actually lost it. From is clamped to the client's cursor, so
+		// the range never covers slots it already holds (Dropped is then
+		// an upper bound on this client's loss).
+		oldest := end + 1
+		if len(frames) > 0 {
+			oldest = frames[0].Slot
+		}
+		if after < oldest-1 {
+			from := start
+			if after+1 > from {
+				from = after + 1
+			}
+			if !fw.write(wire.EventFrame{
+				V: wire.Version2, Event: wire.FrameGap, ID: rec.id,
+				Slot: oldest - 1, From: from, To: oldest - 1, Dropped: missing,
+			}) {
+				return sent, false
+			}
+			if oldest-1 > sent {
+				sent = oldest - 1
+			}
+		}
+	}
+	for _, f := range frames {
+		if f.Slot <= after || f.Slot > upTo {
+			continue
+		}
+		if !fw.write(f) {
+			return sent, false
+		}
+		sent = f.Slot
+	}
+	return sent, true
+}
+
+// streamFromRecord follows a record with no live engine subscription —
+// the query already finished, or finishes while we stream — replaying
+// history after the cursor and ending with the terminal frame.
+func (s *Server) streamFromRecord(ctx context.Context, rec *queryRecord, cursor int, fw *frameWriter) {
+	sent := cursor
+	for {
+		rec.mu.Lock()
+		done := rec.done
+		updated := rec.updated
+		rec.mu.Unlock()
+
+		var ok bool
+		if sent, ok = s.replayHistory(rec, sent, math.MaxInt, fw); !ok {
+			return
+		}
+		if done {
+			fw.write(s.terminalFrame(rec))
+			return
+		}
+		select {
+		case <-updated:
+		case <-ctx.Done():
+			return
+		case <-s.closing:
+			fw.write(wire.ServerClosingFrame())
+			return
+		}
+	}
+}
+
+// terminalFrame synthesizes the record's terminal v2 frame.
+func (s *Server) terminalFrame(rec *queryRecord) wire.EventFrame {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.canceled || rec.errMsg != "" {
+		code := rec.errCode
+		if code == "" {
+			code = wire.CodeCanceled
+		}
+		return wire.EventFrame{
+			V: wire.Version2, Event: wire.FrameCanceled, ID: rec.id,
+			Slot: rec.lastCursor, Error: rec.errMsg, Code: code, TS: rec.termTS,
+		}
+	}
+	end := rec.end
+	if !rec.windowKnown {
+		end = rec.lastCursor
+	}
+	return wire.EventFrame{
+		V: wire.Version2, Event: wire.FrameFinal, ID: rec.id,
+		Slot: end, TS: rec.termTS,
+	}
 }
 
 func (s *Server) record(id string) *queryRecord {
@@ -265,7 +735,7 @@ func (s *Server) record(id string) *queryRecord {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	rec := s.record(r.PathValue("id"))
 	if rec == nil {
-		httpError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		httpErrorCoded(w, http.StatusNotFound, wire.CodeUnknownQuery, "unknown query %q", r.PathValue("id"))
 		return
 	}
 	rec.mu.Lock()
@@ -273,22 +743,28 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		ID:               rec.id,
 		Type:             rec.typ,
 		Done:             rec.done,
-		Results:          append([]wire.Result(nil), rec.results...),
-		ResultsTruncated: rec.truncated,
+		Results:          make([]wire.Result, 0, len(rec.frames)),
+		ResultsTruncated: rec.missing,
 		Error:            rec.errMsg,
 	}
-	rec.mu.Unlock()
-	if resp.Results == nil {
-		resp.Results = []wire.Result{}
+	for _, f := range rec.frames {
+		if f.Event == wire.FrameSlotUpdate && f.Result != nil {
+			resp.Results = append(resp.Results, *f.Result)
+		} else if f.Event == wire.FrameGap {
+			// Results inside a retained gap are as unavailable to the
+			// polling endpoint as ones evicted past the cap.
+			resp.ResultsTruncated += f.Dropped
+		}
 	}
+	rec.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, resp)
 }
 
 // handleList serves GET /queries: one page of the registry ordered by
 // query ID, so operators can enumerate live queries instead of guessing
-// IDs. ?offset= and ?limit= paginate (limit defaults to 100, capped at
-// 1000).
+// IDs. ?offset= and ?limit= paginate; limit defaults to 100, is capped
+// at 1000, and limit=0 returns an empty page with the total only.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	offset, err := queryInt(r, "offset", 0)
 	if err != nil || offset < 0 {
@@ -296,7 +772,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	limit, err := queryInt(r, "limit", defaultListLimit)
-	if err != nil || limit < 1 {
+	if err != nil || limit < 0 {
 		httpError(w, http.StatusBadRequest, "bad limit %q", r.URL.Query().Get("limit"))
 		return
 	}
@@ -313,7 +789,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
 
 	list := wire.QueryList{Total: len(recs), Offset: offset, Queries: []wire.QuerySummary{}}
-	if offset < len(recs) {
+	if offset < len(recs) && limit > 0 {
 		page := recs[offset:]
 		if len(page) > limit {
 			page = page[:limit]
@@ -324,7 +800,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 				ID:      rec.id,
 				Type:    rec.typ,
 				Done:    rec.done,
-				Results: len(rec.results),
+				Results: rec.slotUpdates,
 			})
 			rec.mu.Unlock()
 		}
@@ -345,7 +821,7 @@ func queryInt(r *http.Request, key string, def int) (int, error) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	rec := s.record(r.PathValue("id"))
 	if rec == nil {
-		httpError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		httpErrorCoded(w, http.StatusNotFound, wire.CodeUnknownQuery, "unknown query %q", r.PathValue("id"))
 		return
 	}
 	rec.mu.Lock()
@@ -361,7 +837,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := h.Cancel(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "cancel: %v", err)
+		httpErrorCoded(w, http.StatusServiceUnavailable, wire.ErrorCode(err), "cancel: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -406,7 +882,7 @@ func (s *Server) handleSetStrategy(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stratMu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "set strategy: %v", err)
+		httpErrorCoded(w, http.StatusServiceUnavailable, wire.ErrorCode(err), "set strategy: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -416,7 +892,7 @@ func (s *Server) handleSetStrategy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	m := s.eng.Metrics()
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, wire.Healthz{OK: true, Slots: m.Slots, QueueDepth: m.QueueDepth})
+	writeJSON(w, wire.Healthz{OK: !s.isClosing(), Slots: m.Slots, QueueDepth: m.QueueDepth})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -426,7 +902,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	httpErrorCoded(w, status, "", format, args...)
+}
+
+// httpErrorCoded writes an ErrorBody carrying the stable machine-
+// readable code (empty codes are omitted from the JSON).
+func httpErrorCoded(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	writeJSON(w, wire.ErrorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, wire.ErrorBody{Error: fmt.Sprintf(format, args...), Code: code})
 }

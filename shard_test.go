@@ -341,12 +341,14 @@ func TestShardedEngine(t *testing.T) {
 		t.Fatalf("RunSlots: %v", err)
 	}
 	for _, h := range handles {
-		res, ok := <-h.Results()
-		if !ok {
-			t.Fatalf("%s: results closed early (err %v)", h.ID(), h.Err())
+		var sawFinal bool
+		for ev := range h.Events() {
+			if ev.Type == EventSlotUpdate && ev.Result.Final {
+				sawFinal = true
+			}
 		}
-		if !res.Final {
-			t.Errorf("%s: one-shot result not final", h.ID())
+		if !sawFinal {
+			t.Fatalf("%s: stream closed without a final result (err %v)", h.ID(), h.Err())
 		}
 	}
 

@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -81,6 +82,74 @@ func FuzzSpecRoundTrip(f *testing.F) {
 				spec.Kind(), spec.QueryID(), back.Kind(), back.QueryID())
 		}
 	})
+}
+
+// frameSeeds are valid (and near-valid) v2 event frames covering every
+// frame type and the documented error shapes.
+var frameSeeds = []string{
+	`{"v":2,"event":"accepted","id":"q1","slot":-1,"start":0,"end":9,"ts":1700000000000000000}`,
+	`{"v":2,"event":"slot_update","id":"q1","slot":3,"result":{"slot":3,"answered":true,"value":12.4,"payment":1.7,"final":false}}`,
+	`{"v":2,"event":"slot_update","id":"e1","slot":4,"result":{"slot":4,"answered":true,"value":1,"payment":0.1,"final":true,"events":[{"slot":4,"detected":true,"confidence":0.9,"reading":33.1}]}}`,
+	`{"v":2,"event":"gap","id":"q1","slot":7,"dropped":3,"from":4,"to":6}`,
+	`{"v":2,"event":"final","id":"q1","slot":9}`,
+	`{"v":2,"event":"canceled","id":"q1","slot":5,"error":"ps: query canceled","code":"canceled"}`,
+	`{"v":2,"event":"server_closing","slot":0,"code":"server_closing"}`,
+	`{"v":1,"event":"final","id":"q1","slot":9}`,      // wrong version
+	`{"v":2,"event":"warp","id":"q1","slot":9}`,       // unknown type
+	`{"v":2,"event":"final","slot":9}`,                // missing id
+	`{"v":2,"event":"slot_update","id":"q","slot":1}`, // missing result
+	`{"v":2,"event":"gap","id":"q","slot":1}`,         // missing dropped
+	`{}`, `null`, `[]`, `"final"`, `{"event":12}`, `{"v":-2,"event":"final"}`,
+}
+
+// FuzzDecodeEventFrame: arbitrary bytes never panic the v2 frame
+// decoder, and every successfully decoded frame re-encodes to a stable
+// canonical form (encode∘decode is a fixed point on the codec's own
+// output).
+func FuzzDecodeEventFrame(f *testing.F) {
+	for _, s := range frameSeeds {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(`{"v":2,"event":"slot_update","id":"q","slot":9007199254740993,"result":{"value":1e308}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := wire.DecodeEventFrame(data)
+		if err != nil {
+			return
+		}
+		encoded, err := wire.MarshalEventFrame(frame)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", frame, err)
+		}
+		back, err := wire.DecodeEventFrame(encoded)
+		if err != nil {
+			t.Fatalf("re-decode of %s: %v", encoded, err)
+		}
+		// Compare canonical encodings, not structs: an input like
+		// "events":[] legitimately decodes to an empty slice that
+		// re-encodes away under omitempty.
+		encoded2, err := wire.MarshalEventFrame(back)
+		if err != nil {
+			t.Fatalf("re-encode of %s: %v", encoded, err)
+		}
+		if !bytes.Equal(encoded, encoded2) {
+			t.Fatalf("frame encoding is not a fixed point:\n first  %s\n second %s", encoded, encoded2)
+		}
+	})
+}
+
+// TestFrameSeedsDecode pins which frame seeds are valid, keeping the
+// fuzz corpus honest about the shapes the decoder accepts.
+func TestFrameSeedsDecode(t *testing.T) {
+	decoded := 0
+	for _, s := range frameSeeds {
+		if _, err := wire.DecodeEventFrame([]byte(s)); err == nil {
+			decoded++
+		}
+	}
+	if decoded != 7 {
+		t.Errorf("%d frame seeds decode, want exactly the 7 valid ones", decoded)
+	}
 }
 
 // TestEnvelopeSeedsDecode pins which seeds are valid: the fuzz corpus

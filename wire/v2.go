@@ -1,0 +1,265 @@
+// The v2 wire surface: server-pushed event-stream frames and batch
+// submission. v2 does not replace the v1 submission envelope — v1 keeps
+// being served unchanged — it adds the push-based result delivery the
+// polling endpoints cannot express:
+//
+//   - EventFrame is one frame of GET /watch?id=...&cursor=... — an
+//     NDJSON (or SSE data:) stream mirroring the engine's typed event
+//     sequence Accepted → SlotUpdate* → Final|Canceled, with Gap frames
+//     summarizing anything a slow consumer missed and a ServerClosing
+//     frame ending every stream on graceful shutdown. Frames carry a
+//     monotone slot cursor so a client can resume after a reconnect.
+//   - BatchRequest/BatchResponse are the body of POST /queries:batch:
+//     N submission envelopes in one request, each accepted or rejected
+//     independently.
+//   - Error codes: every sentinel validation or transport error has a
+//     stable machine-readable code carried in ErrorBody.Code (and in
+//     rejected batch entries), so SDKs can reconstruct the sentinel on
+//     their side of the network (see psclient).
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	ps "repro"
+)
+
+// Version2 is the event-frame and batch-body version.
+const Version2 = 2
+
+// Event-frame type names. They mirror ps.EventType's names, plus the
+// stream-level "server_closing" frame the serve layer emits on graceful
+// shutdown (it is not part of any query's event sequence).
+const (
+	FrameAccepted      = "accepted"
+	FrameSlotUpdate    = "slot_update"
+	FrameGap           = "gap"
+	FrameFinal         = "final"
+	FrameCanceled      = "canceled"
+	FrameServerClosing = "server_closing"
+)
+
+// frameTypes enumerates every valid EventFrame.Event value.
+var frameTypes = map[string]bool{
+	FrameAccepted:      true,
+	FrameSlotUpdate:    true,
+	FrameGap:           true,
+	FrameFinal:         true,
+	FrameCanceled:      true,
+	FrameServerClosing: true,
+}
+
+// EventFrame is one v2 event-stream frame. Event selects which optional
+// fields are meaningful:
+//
+//	accepted        id, slot (= start-1), start, end
+//	slot_update     id, slot, result
+//	gap             id, slot, dropped, from, to
+//	final           id, slot (= end)
+//	canceled        id, slot, error, code
+//	server_closing  — (stream-level; no id)
+//
+// Slot is the stream's monotone cursor; a client that reconnects passes
+// its last seen cursor back as ?cursor= and the server replays only
+// newer frames. TS is the server's publish timestamp (UnixNano), letting
+// clients measure delivery latency.
+type EventFrame struct {
+	V     int    `json:"v"`
+	Event string `json:"event"`
+	ID    string `json:"id,omitempty"`
+	Slot  int    `json:"slot"`
+
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
+
+	Result *Result `json:"result,omitempty"`
+
+	Dropped int `json:"dropped,omitempty"`
+	From    int `json:"from,omitempty"`
+	To      int `json:"to,omitempty"`
+
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+
+	TS int64 `json:"ts,omitempty"`
+}
+
+// FrameFromEvent converts an engine event to its wire frame.
+func FrameFromEvent(ev ps.QueryEvent) (EventFrame, error) {
+	f := EventFrame{V: Version2, ID: ev.QueryID, Slot: ev.Slot}
+	if !ev.At.IsZero() {
+		f.TS = ev.At.UnixNano()
+	}
+	switch ev.Type {
+	case ps.EventAccepted:
+		f.Event = FrameAccepted
+		f.Start, f.End = ev.Start, ev.End
+	case ps.EventSlotUpdate:
+		f.Event = FrameSlotUpdate
+		r := ResultFromSlot(ev.Result)
+		f.Result = &r
+	case ps.EventGap:
+		f.Event = FrameGap
+		f.Dropped, f.From, f.To = ev.Dropped, ev.From, ev.To
+	case ps.EventFinal:
+		f.Event = FrameFinal
+	case ps.EventCanceled:
+		f.Event = FrameCanceled
+		if ev.Err != nil {
+			f.Error = ev.Err.Error()
+			f.Code = ErrorCode(ev.Err)
+		}
+	default:
+		return EventFrame{}, fmt.Errorf("wire: event type %v has no frame mapping", ev.Type)
+	}
+	return f, nil
+}
+
+// ServerClosingFrame is the stream-level frame ending every watch stream
+// on graceful shutdown.
+func ServerClosingFrame() EventFrame {
+	return EventFrame{V: Version2, Event: FrameServerClosing, Code: CodeServerClosing}
+}
+
+// MarshalEventFrame encodes a frame as one JSON object (no trailing
+// newline; NDJSON writers add it).
+func MarshalEventFrame(f EventFrame) ([]byte, error) {
+	if f.V != Version2 {
+		return nil, fmt.Errorf("wire: event frame version %d (this build speaks v%d)", f.V, Version2)
+	}
+	if !frameTypes[f.Event] {
+		return nil, fmt.Errorf("wire: unknown event frame type %q", f.Event)
+	}
+	return json.Marshal(f)
+}
+
+// DecodeEventFrame decodes and shape-checks one event frame: the version
+// must be 2 and the event type known; per-type required fields are
+// checked so a consumer can rely on them.
+func DecodeEventFrame(data []byte) (EventFrame, error) {
+	var f EventFrame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return EventFrame{}, fmt.Errorf("wire: bad event frame JSON: %v", err)
+	}
+	if f.V != Version2 {
+		return EventFrame{}, fmt.Errorf("wire: unsupported event frame version %d (this build speaks v%d)", f.V, Version2)
+	}
+	if !frameTypes[f.Event] {
+		return EventFrame{}, fmt.Errorf("wire: unknown event frame type %q", f.Event)
+	}
+	switch f.Event {
+	case FrameServerClosing:
+		// Stream-level: no query id.
+	default:
+		if f.ID == "" {
+			return EventFrame{}, fmt.Errorf("wire: %s frame without an id", f.Event)
+		}
+	}
+	if f.Event == FrameSlotUpdate && f.Result == nil {
+		return EventFrame{}, errors.New(`wire: slot_update frame without a "result"`)
+	}
+	if f.Event == FrameGap && f.Dropped <= 0 {
+		return EventFrame{}, errors.New(`wire: gap frame without a positive "dropped"`)
+	}
+	return f, nil
+}
+
+// Terminal reports whether the frame ends its query's stream.
+func (f EventFrame) Terminal() bool {
+	return f.Event == FrameFinal || f.Event == FrameCanceled
+}
+
+// BatchRequest is the body of POST /queries:batch: up to MaxBatch
+// submission envelopes, each accepted or rejected independently.
+type BatchRequest struct {
+	V       int        `json:"v,omitempty"`
+	Queries []Envelope `json:"queries"`
+}
+
+// MaxBatch bounds one batch submission.
+const MaxBatch = 1024
+
+// BatchResult is one envelope's verdict inside a BatchResponse.
+type BatchResult struct {
+	// ID is the (possibly server-assigned) query ID; set even for
+	// rejected entries when one was assigned before rejection.
+	ID     string `json:"id,omitempty"`
+	Status string `json:"status"` // "accepted" or "rejected"
+	// Code and Error describe a rejection (see ErrorCode).
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a POST /queries:batch response. The HTTP
+// status is 200 whenever the batch itself was well-formed; per-spec
+// verdicts are in Results (index-aligned with the request).
+type BatchResponse struct {
+	V        int           `json:"v"`
+	Accepted int           `json:"accepted"`
+	Rejected int           `json:"rejected"`
+	Results  []BatchResult `json:"results"`
+}
+
+// Stable machine-readable error codes carried in ErrorBody.Code,
+// BatchResult.Code and canceled-frame Code. Validation codes map 1:1 to
+// the ps sentinel errors, so errors.Is keeps working across the network
+// (psclient reconstructs the sentinel from the code).
+const (
+	CodeEmptyQueryID       = "empty_query_id"
+	CodeNegativeBudget     = "negative_budget"
+	CodeBadDuration        = "bad_duration"
+	CodeBadTrajectory      = "bad_trajectory"
+	CodeNegativeRedundancy = "negative_redundancy"
+	CodeNegativeSamples    = "negative_samples"
+	CodeNoGPModel          = "no_gp_model"
+	CodeQueueFull          = "queue_full"
+	CodeEngineStopped      = "engine_stopped"
+	CodeDuplicateQueryID   = "duplicate_query_id"
+	CodeCanceled           = "canceled"
+	CodeUnknownQuery       = "unknown_query"
+	CodeServerClosing      = "server_closing"
+)
+
+// errorCodes is the bidirectional sentinel <-> code table.
+var errorCodes = []struct {
+	code string
+	err  error
+}{
+	{CodeEmptyQueryID, ps.ErrEmptyQueryID},
+	{CodeNegativeBudget, ps.ErrNegativeBudget},
+	{CodeBadDuration, ps.ErrBadDuration},
+	{CodeBadTrajectory, ps.ErrBadTrajectory},
+	{CodeNegativeRedundancy, ps.ErrNegativeRedundancy},
+	{CodeNegativeSamples, ps.ErrNegativeSamples},
+	{CodeNoGPModel, ps.ErrNoGPModel},
+	{CodeQueueFull, ps.ErrQueueFull},
+	{CodeEngineStopped, ps.ErrEngineStopped},
+	{CodeDuplicateQueryID, ps.ErrDuplicateQueryID},
+	{CodeCanceled, ps.ErrCanceled},
+	{CodeUnknownQuery, ps.ErrUnknownQuery},
+}
+
+// ErrorCode returns the stable code for an error that is (or wraps) one
+// of the ps sentinel errors, or "" for errors without a code.
+func ErrorCode(err error) string {
+	for _, ec := range errorCodes {
+		if errors.Is(err, ec.err) {
+			return ec.code
+		}
+	}
+	return ""
+}
+
+// SentinelError returns the ps sentinel error a code names, or nil for
+// an unknown (or empty) code. SDKs use it to make server-side rejections
+// satisfy errors.Is against the same sentinels a local caller would see.
+func SentinelError(code string) error {
+	for _, ec := range errorCodes {
+		if ec.code == code {
+			return ec.err
+		}
+	}
+	return nil
+}

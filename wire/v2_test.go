@@ -1,0 +1,205 @@
+package wire_test
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	ps "repro"
+	"repro/wire"
+)
+
+// TestEventFrameFromEventRoundTrip: every engine event type maps to a
+// frame, encodes, and decodes back unchanged.
+func TestEventFrameFromEventRoundTrip(t *testing.T) {
+	at := time.Unix(1700000000, 123456789)
+	events := []ps.QueryEvent{
+		{Type: ps.EventAccepted, QueryID: "q1", Slot: 4, Start: 5, End: 14, At: at},
+		{Type: ps.EventSlotUpdate, QueryID: "q1", Slot: 5, At: at,
+			Result: ps.SlotResult{Slot: 5, Answered: true, Value: 12.5, Payment: 1.25,
+				Events: []ps.EventNotification{{QueryID: "q1", Slot: 5, Detected: true, Confidence: 0.9, Reading: 31.5}}}},
+		{Type: ps.EventGap, QueryID: "q1", Slot: 9, From: 6, To: 8, Dropped: 3, At: at},
+		{Type: ps.EventFinal, QueryID: "q1", Slot: 14, At: at},
+		{Type: ps.EventCanceled, QueryID: "q1", Slot: 7, Err: ps.ErrCanceled, At: at},
+	}
+	for _, ev := range events {
+		f, err := wire.FrameFromEvent(ev)
+		if err != nil {
+			t.Fatalf("FrameFromEvent(%v): %v", ev.Type, err)
+		}
+		if f.V != wire.Version2 || f.Event != ev.Type.String() || f.ID != "q1" || f.Slot != ev.Slot {
+			t.Fatalf("frame for %v = %+v", ev.Type, f)
+		}
+		if f.TS != at.UnixNano() {
+			t.Errorf("%v frame TS = %d, want %d", ev.Type, f.TS, at.UnixNano())
+		}
+		buf, err := wire.MarshalEventFrame(f)
+		if err != nil {
+			t.Fatalf("MarshalEventFrame(%v): %v", ev.Type, err)
+		}
+		back, err := wire.DecodeEventFrame(buf)
+		if err != nil {
+			t.Fatalf("DecodeEventFrame(%s): %v", buf, err)
+		}
+		if !reflect.DeepEqual(f, back) {
+			t.Errorf("frame round trip diverged:\n first  %+v\n second %+v\n wire   %s", f, back, buf)
+		}
+	}
+
+	// Canceled frames carry the stable code of their cause.
+	f, err := wire.FrameFromEvent(events[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Code != wire.CodeCanceled || f.Error == "" {
+		t.Errorf("canceled frame = %+v, want code %q + message", f, wire.CodeCanceled)
+	}
+	if !f.Terminal() {
+		t.Error("canceled frame not Terminal")
+	}
+}
+
+// TestDecodeEventFrameRejectsBadShapes pins the decoder's validation.
+func TestDecodeEventFrameRejectsBadShapes(t *testing.T) {
+	bad := []struct{ name, body string }{
+		{"empty", ``},
+		{"not json", `nope`},
+		{"wrong version", `{"v":1,"event":"final","id":"q","slot":3}`},
+		{"missing version", `{"event":"final","id":"q","slot":3}`},
+		{"unknown type", `{"v":2,"event":"warp","id":"q","slot":3}`},
+		{"missing id", `{"v":2,"event":"final","slot":3}`},
+		{"slot_update without result", `{"v":2,"event":"slot_update","id":"q","slot":3}`},
+		{"gap without dropped", `{"v":2,"event":"gap","id":"q","slot":3}`},
+	}
+	for _, tc := range bad {
+		if _, err := wire.DecodeEventFrame([]byte(tc.body)); err == nil {
+			t.Errorf("%s: DecodeEventFrame(%q) succeeded", tc.name, tc.body)
+		}
+	}
+	// server_closing is the one id-less frame.
+	f, err := wire.DecodeEventFrame([]byte(`{"v":2,"event":"server_closing","slot":0,"code":"server_closing"}`))
+	if err != nil {
+		t.Fatalf("server_closing: %v", err)
+	}
+	if f.Terminal() {
+		t.Error("server_closing counted as a query terminal")
+	}
+}
+
+// TestErrorCodeSentinelBijection: every sentinel has a distinct stable
+// code, codes survive wrapping, and SentinelError is the exact inverse —
+// the contract psclient's errors.Is reconstruction rests on.
+func TestErrorCodeSentinelBijection(t *testing.T) {
+	sentinels := map[string]error{
+		wire.CodeEmptyQueryID:       ps.ErrEmptyQueryID,
+		wire.CodeNegativeBudget:     ps.ErrNegativeBudget,
+		wire.CodeBadDuration:        ps.ErrBadDuration,
+		wire.CodeBadTrajectory:      ps.ErrBadTrajectory,
+		wire.CodeNegativeRedundancy: ps.ErrNegativeRedundancy,
+		wire.CodeNegativeSamples:    ps.ErrNegativeSamples,
+		wire.CodeNoGPModel:          ps.ErrNoGPModel,
+		wire.CodeQueueFull:          ps.ErrQueueFull,
+		wire.CodeEngineStopped:      ps.ErrEngineStopped,
+		wire.CodeDuplicateQueryID:   ps.ErrDuplicateQueryID,
+		wire.CodeCanceled:           ps.ErrCanceled,
+		wire.CodeUnknownQuery:       ps.ErrUnknownQuery,
+	}
+	seen := map[string]bool{}
+	for code, sentinel := range sentinels {
+		if seen[code] {
+			t.Fatalf("code %q mapped twice", code)
+		}
+		seen[code] = true
+		if got := wire.ErrorCode(sentinel); got != code {
+			t.Errorf("ErrorCode(%v) = %q, want %q", sentinel, got, code)
+		}
+		if got := wire.SentinelError(code); !errors.Is(got, sentinel) {
+			t.Errorf("SentinelError(%q) = %v, want %v", code, got, sentinel)
+		}
+	}
+	// Codes survive the wrapping Validate applies.
+	for _, spec := range []ps.Spec{
+		ps.PointSpec{ID: "", Budget: 1},
+		ps.PointSpec{ID: "p", Budget: -1},
+		ps.LocationMonitoringSpec{ID: "l", Duration: 0, Budget: 1},
+		ps.TrajectorySpec{ID: "t", Budget: 1},
+		ps.MultiPointSpec{ID: "m", Budget: 1, K: -2},
+		ps.LocationMonitoringSpec{ID: "l2", Duration: 3, Budget: 1, Samples: -1},
+		ps.RegionMonitoringSpec{ID: "r", Duration: 3, Budget: 1},
+	} {
+		err := spec.Validate(nil)
+		if err == nil {
+			t.Fatalf("spec %+v unexpectedly valid", spec)
+		}
+		if code := wire.ErrorCode(err); code == "" {
+			t.Errorf("Validate error %v has no code", err)
+		} else if !errors.Is(err, wire.SentinelError(code)) {
+			t.Errorf("code %q does not round-trip through %v", code, err)
+		}
+	}
+	// Unknown errors carry no code, unknown codes no sentinel.
+	if code := wire.ErrorCode(errors.New("mystery")); code != "" {
+		t.Errorf("ErrorCode(mystery) = %q, want empty", code)
+	}
+	if err := wire.SentinelError("mystery_code"); err != nil {
+		t.Errorf("SentinelError(mystery_code) = %v, want nil", err)
+	}
+	if err := wire.SentinelError(""); err != nil {
+		t.Errorf("SentinelError(\"\") = %v, want nil", err)
+	}
+}
+
+// TestBatchBodiesRoundTrip: batch request/response bodies survive the
+// codec with every field intact.
+func TestBatchBodiesRoundTrip(t *testing.T) {
+	specs := []ps.Spec{
+		ps.PointSpec{ID: "b1", Loc: ps.Pt(30, 30), Budget: 15},
+		ps.LocationMonitoringSpec{ID: "b2", Loc: ps.Pt(10, 10), Duration: 5, Budget: 100, Samples: 3},
+	}
+	req := wire.BatchRequest{V: wire.Version2}
+	for _, s := range specs {
+		env, err := wire.FromSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Queries = append(req.Queries, env)
+	}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back wire.BatchRequest
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Queries) != len(specs) {
+		t.Fatalf("round trip lost queries: %d != %d", len(back.Queries), len(specs))
+	}
+	for i, env := range back.Queries {
+		spec, err := env.Spec()
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(spec, specs[i]) {
+			t.Errorf("entry %d diverged: %#v != %#v", i, spec, specs[i])
+		}
+	}
+}
+
+// TestServerClosingFrame pins the shutdown frame's shape.
+func TestServerClosingFrame(t *testing.T) {
+	f := wire.ServerClosingFrame()
+	buf, err := wire.MarshalEventFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"event":"server_closing"`) {
+		t.Errorf("frame = %s", buf)
+	}
+	if _, err := wire.DecodeEventFrame(buf); err != nil {
+		t.Errorf("shutdown frame does not decode: %v", err)
+	}
+}

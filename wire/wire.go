@@ -198,7 +198,9 @@ func (e Envelope) Spec() (ps.Spec, error) {
 		return ps.AggregateSpec{ID: e.ID, Region: region, Budget: e.Budget}, nil
 	case ps.KindTrajectory:
 		if len(e.Path) < 2 {
-			return nil, fmt.Errorf("wire: trajectory needs a \"path\" of >= 2 waypoints")
+			// Wraps the validation sentinel so the rejection carries the
+			// same stable code whether it is caught here or by Validate.
+			return nil, fmt.Errorf("wire: %w (\"path\" needs >= 2 waypoints)", ps.ErrBadTrajectory)
 		}
 		var tr ps.Trajectory
 		for _, p := range e.Path {
@@ -350,8 +352,9 @@ type Metrics struct {
 	ActiveQueries    int     `json:"active_queries"`
 	Answered         int64   `json:"answered"`
 	Starved          int64   `json:"starved"`
-	ResultsDelivered int64   `json:"results_delivered"`
-	ResultsDropped   int64   `json:"results_dropped"`
+	EventsDelivered  int64   `json:"events_delivered"`
+	EventsDropped    int64   `json:"events_dropped"`
+	GapEvents        int64   `json:"gap_events"`
 	QueueDepth       int     `json:"queue_depth"`
 	QueueCap         int     `json:"queue_cap"`
 	SlotLatencyLast  string  `json:"slot_latency_last"`
@@ -422,8 +425,9 @@ func MetricsFrom(m ps.EngineMetrics, configured string) Metrics {
 		ActiveQueries:           m.ActiveQueries,
 		Answered:                m.Answered,
 		Starved:                 m.Starved,
-		ResultsDelivered:        m.ResultsDelivered,
-		ResultsDropped:          m.ResultsDropped,
+		EventsDelivered:         m.EventsDelivered,
+		EventsDropped:           m.EventsDropped,
+		GapEvents:               m.GapEvents,
 		QueueDepth:              m.QueueDepth,
 		QueueCap:                m.QueueCap,
 		SlotLatencyLast:         m.SlotLatencyLast.String(),
@@ -452,7 +456,11 @@ type Healthz struct {
 	QueueDepth int  `json:"queue_depth"`
 }
 
-// ErrorBody is the JSON body of every non-2xx response.
+// ErrorBody is the JSON body of every non-2xx response. Code, when
+// present, is the stable machine-readable error code (see ErrorCode);
+// SDKs reconstruct the matching sentinel from it so errors.Is works
+// across the network.
 type ErrorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
