@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sensornet"
 )
@@ -246,6 +247,12 @@ type SlotReport struct {
 	// ShardedAggregator (the last entry is the spanning pass); nil on the
 	// unsharded pipeline.
 	Shards []ShardStats
+	// Stages is the slot's per-stage latency trace in pipeline order —
+	// offer_gather/selection/commit/accounting on the unsharded pipeline,
+	// with the sharded pipeline's route/shard_select/spanning/reconcile
+	// replacing selection. The engine prepends ingest and appends publish
+	// before accumulating into EngineMetrics.SlotStages.
+	Stages []StageTiming
 
 	values   map[string]float64
 	payments map[string]float64
@@ -320,10 +327,14 @@ func (r *SlotReport) Outcomes() iter.Seq2[string, QueryOutcome] {
 // history), one-shot queries are consumed, and expired continuous queries
 // are retired.
 func (a *Aggregator) RunSlot() *SlotReport {
+	tr := obs.StartTrace()
 	offers := a.world.Fleet.Step()
 	t := a.world.Fleet.Slot()
+	tr.Mark(StageOfferGather)
 	ex := a.executeSlot(t, offers, false)
+	tr.Mark(StageSelection)
 	a.world.Fleet.Commit(ex.selected)
+	tr.Mark(StageCommit)
 	if ex.point != nil {
 		a.ledger.RecordPointResult(ex.point)
 	} else {
@@ -331,6 +342,8 @@ func (a *Aggregator) RunSlot() *SlotReport {
 	}
 	a.selStats.Accumulate(ex.report.Selection)
 	a.retire(t)
+	tr.Mark(StageAccounting)
+	ex.report.Stages = tr.Spans()
 	return ex.report
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchFilesStageTimings validates every checked-in BENCH JSON of a
+// slot scenario: the slot-stage breakdown is present, names are known
+// pipeline stages, and the per-stage mean timings sum to no more than
+// the recorded mean slot latency — the stages are sub-intervals of the
+// measured RunSlot window, and the mean is linear, so a violation means
+// the trace double-counts. (Streaming scenarios use a different record
+// schema and are skipped.)
+func TestBenchFilesStageTimings(t *testing.T) {
+	dir := filepath.Join("..", "..", "bench")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read bench dir: %v", err)
+	}
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		var res benchResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		if _, ok := scenarioByName(res.Scenario); !ok {
+			continue // streaming scenario record
+		}
+		checked++
+		if len(res.SlotStages) == 0 {
+			t.Errorf("%s: no slot_stages breakdown", name)
+			continue
+		}
+		var sum float64
+		for _, st := range res.SlotStages {
+			if st.Stage == "" {
+				t.Errorf("%s: unnamed stage entry %+v", name, st)
+			}
+			if st.P50Ms < 0 || st.P95Ms < st.P50Ms || st.MaxMs < st.P95Ms || st.MeanMs < 0 {
+				t.Errorf("%s: stage %q has inconsistent percentiles: %+v", name, st.Stage, st)
+			}
+			sum += st.MeanMs
+		}
+		if limit := res.SlotMsMean + stageSumSlack(res.SlotMsMean); sum > limit {
+			t.Errorf("%s: stage mean timings sum to %.3fms, exceeding mean slot latency %.3fms (+slack)",
+				name, sum, res.SlotMsMean)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no slot-scenario BENCH files found")
+	}
+}

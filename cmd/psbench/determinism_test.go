@@ -16,6 +16,11 @@ import (
 func normalizeBench(res benchResult) benchResult {
 	res.SlotMsP50, res.SlotMsP95, res.SlotMsMax, res.SlotMsMean = 0, 0, 0, 0
 	res.UnshardedP50Ms, res.SpeedupP50 = 0, 0
+	// Stage durations are wall time; names and order must not drift.
+	for i := range res.SlotStages {
+		res.SlotStages[i].P50Ms, res.SlotStages[i].P95Ms = 0, 0
+		res.SlotStages[i].MeanMs, res.SlotStages[i].MaxMs = 0, 0
+	}
 	res.CalibrationMs = 0
 	res.Allocs, res.AllocBytes = 0, 0
 	res.GoVersion = ""

@@ -341,6 +341,11 @@ type benchResult struct {
 	SlotMsP95   float64 `json:"slot_ms_p95"`
 	SlotMsMax   float64 `json:"slot_ms_max"`
 	SlotMsMean  float64 `json:"slot_ms_mean"`
+	// SlotStages breaks the slot latency into the aggregator's pipeline
+	// stages (offer gather, selection, commit, ... — see ps.SlotReport),
+	// in pipeline order. Stage timings are machine-dependent like the
+	// slot latencies above; the stage names and count are deterministic.
+	SlotStages []stageBreakdown `json:"slot_stages,omitempty"`
 	// Sharded scenarios also record the same-machine unsharded run they
 	// were gated against: the speedup is a work ratio, so unlike raw
 	// latencies it transfers across machines.
@@ -361,6 +366,38 @@ type benchResult struct {
 	Allocs                  uint64  `json:"allocs"`
 	AllocBytes              uint64  `json:"alloc_bytes"`
 	GoVersion               string  `json:"go_version"`
+
+	// stageSumViolation records the first slot whose stage timings summed
+	// past the measured slot latency — the stages are sub-intervals of the
+	// RunSlot window, so that can only happen if the trace double-counts.
+	// Checked by runScenarioMode; not part of the JSON record.
+	stageSumViolation string
+}
+
+// stageBreakdown is one pipeline stage's latency percentiles across a
+// scenario's slots.
+type stageBreakdown struct {
+	Stage  string  `json:"stage"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// pctOf reads percentile p (0..1] from an ascending-sorted sample set.
+func pctOf(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	return sorted[max(0, min(i, len(sorted)-1))]
+}
+
+// stageSumTolerance absorbs clock-granularity noise when comparing a
+// slot's stage-timing sum against the slot latency that encloses it:
+// 2% relative plus 50µs absolute.
+func stageSumSlack(latencyMs float64) float64 {
+	return latencyMs*0.02 + 0.05
 }
 
 // calibrationSink defeats dead-code elimination of the calibration loop.
@@ -410,6 +447,9 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 	var welfare, totalCost float64
 	var answered int
 	latencies := make([]float64, 0, sc.Slots)
+	var stageOrder []string
+	stageMs := make(map[string][]float64)
+	var stageViolation string
 
 	runtime.GC()
 	var m0, m1 runtime.MemStats
@@ -421,7 +461,20 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		}
 		start := time.Now()
 		rep := r.agg.RunSlot()
-		latencies = append(latencies, float64(time.Since(start).Nanoseconds())/1e6)
+		lat := float64(time.Since(start).Nanoseconds()) / 1e6
+		latencies = append(latencies, lat)
+		var sumMs float64
+		for _, sp := range rep.Stages {
+			ms := float64(sp.Duration.Nanoseconds()) / 1e6
+			if _, seen := stageMs[sp.Stage]; !seen {
+				stageOrder = append(stageOrder, sp.Stage)
+			}
+			stageMs[sp.Stage] = append(stageMs[sp.Stage], ms)
+			sumMs += ms
+		}
+		if stageViolation == "" && sumMs > lat+stageSumSlack(lat) {
+			stageViolation = fmt.Sprintf("slot %d: stage timings sum to %.3fms, exceeding the %.3fms slot latency", t, sumMs, lat)
+		}
 		welfare += rep.Welfare
 		totalCost += rep.TotalCost
 		stats.Accumulate(rep.Selection)
@@ -445,12 +498,23 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		mean += l
 	}
 	mean /= float64(len(sorted))
-	pct := func(p float64) float64 {
-		if len(sorted) == 0 {
-			return 0
+	pct := func(p float64) float64 { return pctOf(sorted, p) }
+
+	stages := make([]stageBreakdown, 0, len(stageOrder))
+	for _, name := range stageOrder {
+		ms := append([]float64(nil), stageMs[name]...)
+		sort.Float64s(ms)
+		var m float64
+		for _, v := range ms {
+			m += v
 		}
-		i := int(math.Ceil(p*float64(len(sorted)))) - 1
-		return sorted[max(0, min(i, len(sorted)-1))]
+		stages = append(stages, stageBreakdown{
+			Stage:  name,
+			P50Ms:  pctOf(ms, 0.50),
+			P95Ms:  pctOf(ms, 0.95),
+			MeanMs: m / float64(len(ms)),
+			MaxMs:  ms[len(ms)-1],
+		})
 	}
 
 	return benchResult{
@@ -467,6 +531,8 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		SlotMsP95:               pct(0.95),
 		SlotMsMax:               sorted[len(sorted)-1],
 		SlotMsMean:              mean,
+		SlotStages:              stages,
+		stageSumViolation:       stageViolation,
 		CalibrationMs:           calibrate(),
 		ValuationCalls:          stats.ValuationCalls,
 		ExhaustiveEquivCalls:    stats.SerialEquivCalls,
@@ -600,6 +666,14 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 			res.Scenario, res.Sensors, res.Slots, res.Shards, res.Strategy, sc.Desc)
 		fmt.Printf("%-26s p50 %.2fms  p95 %.2fms  max %.2fms  mean %.2fms\n",
 			"slot latency:", res.SlotMsP50, res.SlotMsP95, res.SlotMsMax, res.SlotMsMean)
+		for _, st := range res.SlotStages {
+			fmt.Printf("%-26s p50 %.2fms  p95 %.2fms  max %.2fms\n",
+				"  stage "+st.Stage+":", st.P50Ms, st.P95Ms, st.MaxMs)
+		}
+		if res.stageSumViolation != "" {
+			fmt.Fprintf(os.Stderr, "psbench: REGRESSION %s: %s\n", res.Scenario, res.stageSumViolation)
+			exit = 1
+		}
 		fmt.Printf("%-26s %d made, %d exhaustive-equivalent (%d saved)\n",
 			"valuation calls:", res.ValuationCalls, res.ExhaustiveEquivCalls, res.ValuationCallsSaved)
 		fmt.Printf("%-26s %d reevals, %d violations, %d rescans\n",

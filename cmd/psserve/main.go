@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,8 +45,16 @@ func main() {
 		queue    = flag.Int("queue", 1024, "ingest queue size")
 		drain    = flag.Int("drain", 64, "max slots run at shutdown to drain continuous queries")
 		retain   = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable (0 = evict at the next sweep)")
+		debug    = flag.Bool("debug", false, "mount net/http/pprof and expvar under /debug/")
+		logLevel = flag.String("log", "info", "structured log level: debug, info, warn, error or off")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psserve:", err)
+		os.Exit(2)
+	}
 
 	w, err := buildWorld(*world, *seed, *sensors)
 	if err != nil {
@@ -67,6 +76,9 @@ func main() {
 		ps.WithSlotInterval(*interval),
 		ps.WithQueueSize(*queue),
 		ps.WithDrainSlots(*drain),
+	}
+	if logger != nil {
+		engineOpts = append(engineOpts, ps.WithLogger(logger))
 	}
 	var eng *ps.Engine
 	if *shards > 1 {
@@ -97,6 +109,8 @@ func main() {
 		Retain:      *retain,
 		NoRetention: *retain <= 0,
 		Strategy:    strat,
+		Logger:      logger,
+		Debug:       *debug,
 	})
 	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	go func() {
@@ -123,6 +137,27 @@ func main() {
 	cancel()
 	eng.Stop()
 	log.Print("psserve: bye")
+}
+
+// buildLogger maps the -log flag to a text slog.Logger on stderr; "off"
+// returns nil (serve and the engine treat nil as disabled).
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "off", "none":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 func buildWorld(kind string, seed int64, sensors int) (*ps.World, error) {

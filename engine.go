@@ -1,8 +1,11 @@
 package ps
 
 import (
+	"context"
 	"errors"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -73,8 +76,8 @@ func (h *QueryHandle) Err() error { return h.sub.Err() }
 // reports only enqueue failure of the cancellation itself (queue full or
 // engine stopped).
 func (h *QueryHandle) Cancel() error {
-	return h.eng.loop.Do(func() {
-		e := h.eng
+	e := h.eng
+	return e.loop.Do(e.timedIngest(func() {
 		if !e.hub.cancel(h.id, h.sub, ErrCanceled, time.Now()) {
 			return // already expired, replaced, or canceled
 		}
@@ -83,7 +86,9 @@ func (h *QueryHandle) Cancel() error {
 		e.m.QueriesCanceled++
 		e.m.ActiveQueries = e.hub.liveCount()
 		e.mu.Unlock()
-	})
+		e.obs.queriesCanceled.Inc()
+		e.obs.queriesActive.Set(float64(e.hub.liveCount()))
+	}))
 }
 
 // EngineMetrics is a point-in-time snapshot of the engine's counters.
@@ -130,6 +135,11 @@ type EngineMetrics struct {
 	// a ShardedAggregator (the last entry is the spanning pass); nil on an
 	// unsharded engine.
 	Shards []ShardStats
+	// SlotStages is the cumulative per-stage slot latency breakdown, in
+	// first-seen pipeline order (ingest, offer_gather, selection or the
+	// sharded passes, commit, accounting, publish). Empty until the first
+	// slot executes.
+	SlotStages []StageStats
 	// Ingest queue occupancy and slot execution latency.
 	QueueDepth      int
 	QueueCap        int
@@ -144,6 +154,7 @@ type engineConfig struct {
 	blockOnFull bool
 	eventBuffer int
 	drainSlots  int
+	logger      *slog.Logger
 }
 
 // EngineOption customizes an Engine.
@@ -184,6 +195,14 @@ func WithDrainSlots(n int) EngineOption {
 	return func(c *engineConfig) { c.drainSlots = n }
 }
 
+// WithLogger attaches a structured logger. The engine emits a per-slot
+// summary at Debug level (slot, welfare, sensors, stage latencies); no
+// logging happens on the hot path unless the handler enables Debug. Nil
+// (the default) disables logging.
+func WithLogger(l *slog.Logger) EngineOption {
+	return func(c *engineConfig) { c.logger = l }
+}
+
 // queryRuntime is the execution backend surface the Engine drives: slot
 // execution plus the query lifecycle. Aggregator (single-world) and
 // ShardedAggregator (geo-sharded, shard.go) both satisfy it.
@@ -209,6 +228,15 @@ type Engine struct {
 	hub    *hub
 
 	drainSlots int
+
+	obs *engineObs
+	// log is nil unless WithLogger was given; onSlot guards every use.
+	log *slog.Logger
+	// ingestNanos accumulates time spent executing queued submissions and
+	// cancels between slots; onSlot drains it into the "ingest" stage.
+	ingestNanos atomic.Int64
+	// stageIdx maps stage name -> index into m.SlotStages (guarded by mu).
+	stageIdx map[string]int
 
 	mu sync.Mutex
 	m  EngineMetrics
@@ -238,7 +266,11 @@ func newEngine(agg queryRuntime, opts []EngineOption) *Engine {
 		runner:     agg,
 		hub:        newHub(cfg.eventBuffer),
 		drainSlots: cfg.drainSlots,
+		obs:        newEngineObs(),
+		log:        cfg.logger,
+		stageIdx:   make(map[string]int),
 	}
+	e.hub.obs = &e.obs.hub
 	lc := engine.Config{QueueSize: cfg.queueSize}
 	if cfg.blockOnFull {
 		lc.Overflow = engine.OverflowBlock
@@ -285,6 +317,7 @@ func (e *Engine) Metrics() EngineMetrics {
 	e.mu.Lock()
 	m := e.m
 	m.Shards = append([]ShardStats(nil), e.m.Shards...)
+	m.SlotStages = append([]StageStats(nil), e.m.SlotStages...)
 	e.mu.Unlock()
 	m.Slots = s.Slots
 	m.QueueDepth = s.QueueDepth
@@ -301,6 +334,17 @@ func (e *Engine) countRejected() {
 	e.mu.Lock()
 	e.m.QueriesRejected++
 	e.mu.Unlock()
+	e.obs.queriesRejected.Inc()
+}
+
+// timedIngest wraps a queued command so the time the loop spends
+// executing it is attributed to the next slot's "ingest" stage.
+func (e *Engine) timedIngest(fn func()) func() {
+	return func() {
+		start := time.Now()
+		fn()
+		e.ingestNanos.Add(int64(time.Since(start)))
+	}
 }
 
 // Submit validates and submits any query spec from any goroutine and
@@ -318,7 +362,7 @@ func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
 	}
 	id := spec.QueryID()
 	h := &QueryHandle{id: id, eng: e, sub: e.hub.newSubscription(id)}
-	err := e.loop.Do(func() {
+	err := e.loop.Do(e.timedIngest(func() {
 		if e.hub.live(id) {
 			h.fail(ErrDuplicateQueryID)
 			e.countRejected()
@@ -335,7 +379,9 @@ func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
 		e.m.QueriesSubmitted++
 		e.m.ActiveQueries = e.hub.liveCount()
 		e.mu.Unlock()
-	})
+		e.obs.queriesSubmitted.Inc()
+		e.obs.queriesActive.Set(float64(e.hub.liveCount()))
+	}))
 	if err != nil {
 		e.countRejected()
 		return nil, err
@@ -363,8 +409,10 @@ func (e *Engine) Watch(id string) (*Subscription, error) {
 }
 
 // onSlot publishes a slot report through the subscription hub and
-// updates the engine-wide metrics. Loop goroutine only.
-func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
+// updates the engine-wide metrics. dur is the loop's authoritative
+// end-to-end slot latency (it covers the aggregator's RunSlot; the hub
+// publish below is timed separately). Loop goroutine only.
+func (e *Engine) onSlot(rep *SlotReport, dur time.Duration) {
 	var events map[string][]EventNotification
 	if len(rep.Events) > 0 {
 		events = make(map[string][]EventNotification, len(rep.Events))
@@ -372,7 +420,16 @@ func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
 			events[ev.QueryID] = append(events[ev.QueryID], ev)
 		}
 	}
-	st := e.hub.publishSlot(rep, events, time.Now())
+	pubStart := time.Now()
+	st := e.hub.publishSlot(rep, events, pubStart)
+	publishDur := time.Since(pubStart)
+
+	// Assemble the slot's full stage trace: ingest work drained since the
+	// previous slot, the aggregator's own trace, then the hub fan-out.
+	stages := make([]StageTiming, 0, len(rep.Stages)+2)
+	stages = append(stages, StageTiming{Stage: StageIngest, Duration: time.Duration(e.ingestNanos.Swap(0))})
+	stages = append(stages, rep.Stages...)
+	stages = append(stages, StageTiming{Stage: StagePublish, Duration: publishDur})
 
 	e.mu.Lock()
 	e.m.LastSlot = rep.Slot
@@ -407,7 +464,26 @@ func (e *Engine) onSlot(rep *SlotReport, _ time.Duration) {
 	e.m.EventsDropped += st.dropped
 	e.m.GapEvents = e.hub.gapCount()
 	e.m.ActiveQueries = st.active
+	e.accumulateStages(stages)
+	totalWelfare := e.m.TotalWelfare
 	e.mu.Unlock()
+
+	e.observeSlot(dur, rep, st, stages)
+	e.obs.welfare.Set(totalWelfare)
+
+	if e.log != nil && e.log.Enabled(context.Background(), slog.LevelDebug) {
+		attrs := []any{
+			"slot", rep.Slot,
+			"welfare", rep.Welfare,
+			"sensors", rep.SensorsUsed,
+			"active", st.active,
+			"duration", dur,
+		}
+		for _, sp := range stages {
+			attrs = append(attrs, "stage_"+sp.Stage, sp.Duration)
+		}
+		e.log.Debug("slot executed", attrs...)
+	}
 }
 
 // drain is the Stop-time finalizer: it keeps executing slots while live

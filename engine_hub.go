@@ -223,6 +223,10 @@ func (s *Subscription) push(ev QueryEvent) (delivered, dropped int) {
 			At: ev.At,
 		}
 		s.hub.gapEvents++
+		if o := s.hub.obs; o != nil {
+			o.gapFrames.Inc()
+			o.evictionRun.Observe(float64(s.dropped))
+		}
 		delivered++
 		s.dropped, s.dropFrom, s.dropTo = 0, 0, 0
 	}
@@ -242,6 +246,10 @@ type topic struct {
 	// must not let a stale handle cancel its successor).
 	owner *Subscription
 	subs  []*Subscription
+	// acceptedAt anchors the query's lifecycle spans (time to first
+	// update, lifetime); sawUpdate marks the first SlotUpdate published.
+	acceptedAt time.Time
+	sawUpdate  bool
 }
 
 // publish fans ev out to every attached subscription and advances the
@@ -284,6 +292,9 @@ type hub struct {
 	buffer int
 	// gapEvents counts Gap frames emitted hub-wide (metrics).
 	gapEvents int64
+	// obs, when set, receives eviction and query-lifecycle observations
+	// (a couple of atomic ops each, recorded under mu).
+	obs *hubObs
 
 	// mu guards topics and all subscription/topic state. It is
 	// deliberately separate from the engine's metrics mutex.
@@ -319,7 +330,7 @@ func (h *hub) live(id string) bool {
 func (h *hub) register(id string, start, end int, owner *Subscription, at time.Time) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	t := &topic{id: id, start: start, end: end, cursor: start - 1, owner: owner, subs: []*Subscription{owner}}
+	t := &topic{id: id, start: start, end: end, cursor: start - 1, owner: owner, subs: []*Subscription{owner}, acceptedAt: at}
 	owner.joinCursor = start - 1
 	h.topics[id] = t
 	t.publish(QueryEvent{
@@ -362,7 +373,16 @@ func (h *hub) cancel(id string, owner *Subscription, cause error, at time.Time) 
 	delete(h.topics, id)
 	t.publish(QueryEvent{Type: EventCanceled, QueryID: id, Slot: t.cursor, Err: cause, At: at})
 	t.close(cause)
+	h.observeLifetime(t, at)
 	return true
+}
+
+// observeLifetime records a finished topic's lifecycle span. Caller
+// holds h.mu.
+func (h *hub) observeLifetime(t *topic, at time.Time) {
+	if h.obs != nil && !t.acceptedAt.IsZero() {
+		h.obs.lifetime.Observe(at.Sub(t.acceptedAt).Seconds())
+	}
 }
 
 // gapCount returns the number of Gap frames emitted so far.
@@ -388,6 +408,7 @@ func (h *hub) closeAll(cause error, at time.Time) {
 		delete(h.topics, id)
 		t.publish(QueryEvent{Type: EventCanceled, QueryID: id, Slot: t.cursor, Err: cause, At: at})
 		t.close(cause)
+		h.observeLifetime(t, at)
 	}
 }
 
@@ -417,15 +438,36 @@ func (h *hub) publishSlot(rep *SlotReport, events map[string][]EventNotification
 		})
 		st.delivered += int64(d)
 		st.dropped += int64(dr)
+		if !t.sawUpdate {
+			t.sawUpdate = true
+			if h.obs != nil && !t.acceptedAt.IsZero() {
+				h.obs.firstUpdate.Observe(at.Sub(t.acceptedAt).Seconds())
+			}
+		}
 		if res.Final {
 			d, dr = t.publish(QueryEvent{Type: EventFinal, QueryID: id, Slot: t.end, At: at})
 			st.delivered += int64(d)
 			st.dropped += int64(dr)
 			t.close(nil)
 			delete(h.topics, id)
+			h.observeLifetime(t, at)
 		}
 	}
 	st.active = len(h.topics)
+	// Subscriber backlog after the fan-out: how many subscriptions are
+	// attached, the largest per-subscriber buffered backlog, and total
+	// occupancy — the hub-health gauges.
+	for _, t := range h.topics {
+		for _, s := range t.subs {
+			st.subscribers++
+			n := len(s.ch)
+			st.buffered += n
+			st.bufCap += cap(s.ch)
+			if n > st.maxLag {
+				st.maxLag = n
+			}
+		}
+	}
 	return st
 }
 
@@ -435,4 +477,6 @@ type slotDelivery struct {
 	answered, starved  int64
 	payments           float64
 	active             int
+	// Subscriber backlog at the end of the fan-out.
+	subscribers, maxLag, buffered, bufCap int
 }

@@ -1,0 +1,53 @@
+package obs
+
+import "time"
+
+// Span is one named stage of a trace: the wall time between two Mark
+// calls (or an externally measured duration recorded with Add).
+type Span struct {
+	Stage    string        `json:"stage"`
+	Duration time.Duration `json:"duration"`
+}
+
+// Trace attributes a slot's wall time to named pipeline stages. Use:
+//
+//	tr := obs.StartTrace()
+//	... step the fleet ...
+//	tr.Mark("offer_gather")
+//	... run selection ...
+//	tr.Mark("selection")
+//	report.Stages = tr.Spans()
+//
+// A Trace is single-goroutine (it lives on the engine loop); the cost
+// per Mark is one time.Now and one append.
+type Trace struct {
+	last  time.Time
+	spans []Span
+}
+
+// StartTrace begins a trace at the current time.
+func StartTrace() *Trace {
+	return &Trace{last: time.Now()}
+}
+
+// Mark closes the current stage: the span's duration is the wall time
+// since the previous Mark (or StartTrace), and the next stage begins
+// now. Returns the recorded duration.
+func (t *Trace) Mark(stage string) time.Duration {
+	now := time.Now()
+	d := now.Sub(t.last)
+	t.last = now
+	t.spans = append(t.spans, Span{Stage: stage, Duration: d})
+	return d
+}
+
+// Add records an externally measured span without moving the trace's
+// clock — for stages timed elsewhere (e.g. ingest work accumulated
+// between slots).
+func (t *Trace) Add(stage string, d time.Duration) {
+	t.spans = append(t.spans, Span{Stage: stage, Duration: d})
+}
+
+// Spans returns the recorded spans in order. The slice is owned by the
+// trace; callers that retain it should not Mark again.
+func (t *Trace) Spans() []Span { return t.spans }

@@ -40,6 +40,27 @@ type Stream struct {
 	done     bool
 	err      error
 	attempts int
+
+	dials int64
+	stats StreamStats
+}
+
+// StreamStats are a Stream's client-side delivery counters: what
+// actually arrived, what the server admitted to dropping, and how often
+// the connection had to be re-established. Like the rest of Stream they
+// are updated by Next and must not be read concurrently with it.
+type StreamStats struct {
+	// FramesReceived counts every decoded frame, gap and terminal frames
+	// included.
+	FramesReceived int64
+	// GapFrames counts gap frames seen; DroppedReported sums the events
+	// the server reported dropping across them.
+	GapFrames       int64
+	DroppedReported int64
+	// Reconnects counts re-dials after the first successful connect —
+	// transparent recoveries from dropped connections or a server
+	// restart.
+	Reconnects int64
 }
 
 // StreamOption customizes a Stream.
@@ -109,8 +130,15 @@ func (s *Stream) connect(ctx context.Context) error {
 	s.body = resp.Body
 	s.sc = bufio.NewScanner(resp.Body)
 	s.sc.Buffer(make([]byte, 64*1024), 1<<20)
+	s.dials++
+	if s.dials > 1 {
+		s.stats.Reconnects++
+	}
 	return nil
 }
+
+// Stats returns the stream's client-side delivery counters so far.
+func (s *Stream) Stats() StreamStats { return s.stats }
 
 // transientError marks connection failures the stream retries.
 type transientError struct{ err error }
@@ -175,6 +203,11 @@ func (s *Stream) Next(ctx context.Context) (wire.EventFrame, error) {
 			return wire.EventFrame{}, s.err
 		}
 		s.attempts = 0
+		s.stats.FramesReceived++
+		if f.Event == wire.FrameGap {
+			s.stats.GapFrames++
+			s.stats.DroppedReported += int64(f.Dropped)
+		}
 		// Advance the resume cursor only past content the client has now
 		// seen: a gap frame vouches for its dropped range (From..To), not
 		// for the event it was emitted in front of.

@@ -1,0 +1,62 @@
+package psclient
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestStreamStats: the stream's client-side counters record frames
+// received, gap frames (and the events they admit were dropped), and
+// transparent reconnects.
+func TestStreamStats(t *testing.T) {
+	dials := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dials++
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if dials == 1 {
+			// accepted + slot 0, then cut the connection mid-stream.
+			fmt.Fprintln(w, `{"v":2,"event":"accepted","id":"sq","slot":-1,"start":0,"end":3}`)
+			fmt.Fprintln(w, `{"v":2,"event":"slot_update","id":"sq","slot":0,"result":{"slot":0,"answered":true,"value":2,"payment":1,"final":false}}`)
+			fl.Flush()
+			return
+		}
+		// On resume the server admits slots 1-2 are gone, then finishes.
+		fmt.Fprintln(w, `{"v":2,"event":"gap","id":"sq","slot":3,"from":1,"to":2,"dropped":2}`)
+		fmt.Fprintln(w, `{"v":2,"event":"slot_update","id":"sq","slot":3,"result":{"slot":3,"answered":true,"value":2,"payment":1,"final":true}}`)
+		fmt.Fprintln(w, `{"v":2,"event":"final","id":"sq","slot":3}`)
+		fl.Flush()
+	}))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stream("sq")
+	defer st.Close()
+	if got := st.Stats(); got != (StreamStats{}) {
+		t.Errorf("stats before first Next = %+v, want zero", got)
+	}
+	frames := 0
+	for _, err := range st.All(context.Background()) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		frames++
+	}
+	want := StreamStats{FramesReceived: 5, GapFrames: 1, DroppedReported: 2, Reconnects: 1}
+	if got := st.Stats(); got != want {
+		t.Errorf("Stats() = %+v, want %+v", got, want)
+	}
+	if frames != int(want.FramesReceived) {
+		t.Errorf("iterated %d frames, stats say %d", frames, want.FramesReceived)
+	}
+	if dials != 2 {
+		t.Errorf("server saw %d dials, want 2", dials)
+	}
+}

@@ -35,10 +35,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +65,14 @@ type Options struct {
 	// Strategy is the engine's configured selection strategy, mirrored
 	// for display by /metrics and /strategy.
 	Strategy ps.Strategy
+	// Logger receives structured request and query-lifecycle logs. Nil
+	// discards them.
+	Logger *slog.Logger
+	// Debug mounts the net/http/pprof handlers and expvar under
+	// /debug/. Off by default: the profiling surface can stall the
+	// process (heap dumps, 30s CPU profiles) and belongs behind an
+	// explicit operator decision.
+	Debug bool
 }
 
 // Server owns the HTTP-side query registry. Each accepted query gets a
@@ -82,6 +93,11 @@ type Server struct {
 	// strategy mirrors the engine's configured selection strategy for
 	// display; writes go through POST /strategy.
 	strategy atomic.Int32
+
+	log   *slog.Logger
+	obs   *serverObs
+	start time.Time
+	debug bool
 
 	// closing is closed by Shutdown: submissions 503 and watch streams
 	// end with a server_closing frame.
@@ -119,10 +135,18 @@ func New(eng *ps.Engine, world *ps.World, opts Options) *Server {
 	if opts.NoRetention {
 		retain = 0
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = discardLogger()
+	}
 	s := &Server{
 		eng:     eng,
 		world:   world,
 		retain:  retain,
+		log:     logger,
+		obs:     newServerObs(eng.Observability()),
+		start:   time.Now(),
+		debug:   opts.Debug,
 		closing: make(chan struct{}),
 		queries: make(map[string]*queryRecord),
 	}
@@ -143,7 +167,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /strategy", s.handleGetStrategy)
 	mux.HandleFunc("POST /strategy", s.handleSetStrategy)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	if s.debug {
+		// pprof.Index serves the whole /debug/pprof/ subtree (heap,
+		// goroutine, block, ...); the named handlers below are the ones
+		// Index cannot dispatch itself.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
+	return s.instrument(mux)
 }
 
 // Shutdown transitions the server into draining: new submissions are
@@ -185,6 +220,8 @@ func (s *Server) sweepLocked() {
 type queryRecord struct {
 	id  string
 	typ string
+	// log receives the query's lifecycle events, correlated by query_id.
+	log *slog.Logger
 
 	mu sync.Mutex
 	// live is set by the first event: the query went live. windowKnown
@@ -221,8 +258,8 @@ type queryRecord struct {
 	handle *ps.QueryHandle
 }
 
-func newQueryRecord(id, typ string) *queryRecord {
-	return &queryRecord{id: id, typ: typ, lastCursor: noCursor, updated: make(chan struct{})}
+func newQueryRecord(id, typ string, log *slog.Logger) *queryRecord {
+	return &queryRecord{id: id, typ: typ, log: log, lastCursor: noCursor, updated: make(chan struct{})}
 }
 
 func (r *queryRecord) isDone() bool {
@@ -268,14 +305,19 @@ func (r *queryRecord) consume() {
 		case ps.EventAccepted:
 			r.windowKnown, r.start, r.end = true, ev.Start, ev.End
 			r.acceptedTS = ev.At.UnixNano()
+			r.log.Info("query accepted", "query_id", r.id, "type", r.typ,
+				"start", ev.Start, "end", ev.End)
 		case ps.EventSlotUpdate, ps.EventGap:
 			if f, err := wire.FrameFromEvent(ev); err == nil {
 				r.appendFrameLocked(f)
 			}
+			r.log.Debug("query event", "query_id", r.id,
+				"event", ev.Type.String(), "slot", ev.Slot)
 		case ps.EventFinal:
 			r.done = true
 			r.doneAt = time.Now()
 			r.termTS = ev.At.UnixNano()
+			r.log.Info("query finished", "query_id", r.id, "slot", ev.Slot)
 		case ps.EventCanceled:
 			r.done, r.canceled = true, true
 			r.doneAt = time.Now()
@@ -283,6 +325,8 @@ func (r *queryRecord) consume() {
 			if ev.Err != nil {
 				r.errMsg, r.errCode = ev.Err.Error(), wire.ErrorCode(ev.Err)
 			}
+			r.log.Info("query canceled", "query_id", r.id,
+				"slot", ev.Slot, "error", r.errMsg)
 		}
 		if ev.Slot > r.lastCursor {
 			r.lastCursor = ev.Slot
@@ -348,7 +392,7 @@ func (s *Server) submitEnvelope(env wire.Envelope) (id string, status int, err e
 
 	// Reserve the registry slot before submitting so a duplicate ID can
 	// never orphan a live query's record; finished IDs may be reused.
-	rec := newQueryRecord(id, spec.Kind().String())
+	rec := newQueryRecord(id, spec.Kind().String(), s.log)
 	s.mu.Lock()
 	old := s.queries[id]
 	if old != nil && !old.isDone() {
@@ -844,7 +888,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, wire.SubmitAck{ID: rec.id, Status: "canceling"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the engine metrics in two representations from
+// one endpoint: the JSON document (default, unchanged wire format) and
+// the Prometheus text exposition, selected by Accept: text/plain (what
+// a Prometheus scrape sends) or ?format=prometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.eng.Observability().WritePrometheus(w); err != nil {
+			log.Printf("serve: write prometheus exposition: %v", err)
+		}
+		return
+	}
 	m := wire.MetricsFrom(s.eng.Metrics(), ps.Strategy(s.strategy.Load()).String())
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, m)
@@ -891,8 +946,17 @@ func (s *Server) handleSetStrategy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	m := s.eng.Metrics()
+	version, revision, goVersion := buildIdentity()
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, wire.Healthz{OK: !s.isClosing(), Slots: m.Slots, QueueDepth: m.QueueDepth})
+	writeJSON(w, wire.Healthz{
+		OK:            !s.isClosing(),
+		Slots:         m.Slots,
+		QueueDepth:    m.QueueDepth,
+		Version:       version,
+		Revision:      revision,
+		GoVersion:     goVersion,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

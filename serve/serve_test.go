@@ -870,7 +870,7 @@ func TestReplayHistoryMidStreamGap(t *testing.T) {
 		r := wire.Result{Slot: slot, Answered: true, Value: 1}
 		return wire.EventFrame{V: wire.Version2, Event: wire.FrameSlotUpdate, ID: "g", Slot: slot, Result: &r}
 	}
-	rec := newQueryRecord("g", "point")
+	rec := newQueryRecord("g", "point", discardLogger())
 	rec.live, rec.windowKnown = true, true
 	rec.start, rec.end = 0, 9
 	rec.frames = []wire.EventFrame{
@@ -922,7 +922,7 @@ func TestReplayHistoryMidStreamGap(t *testing.T) {
 	}
 
 	// History-cap eviction folds evicted gaps into missing.
-	rec2 := newQueryRecord("g2", "point")
+	rec2 := newQueryRecord("g2", "point", discardLogger())
 	rec2.mu.Lock()
 	rec2.appendFrameLocked(wire.EventFrame{V: wire.Version2, Event: wire.FrameGap, ID: "g2", Slot: 0, From: 0, To: 0, Dropped: 5})
 	for s := 1; s <= maxResultsPerQuery+1; s++ {

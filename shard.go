@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sensornet"
 )
@@ -268,8 +269,10 @@ func (sa *ShardedAggregator) CancelQuery(id string) bool {
 // pass over the residual supply, and reconciles the partial results into
 // one SlotReport.
 func (sa *ShardedAggregator) RunSlot() *SlotReport {
+	tr := obs.StartTrace()
 	offers := sa.world.Fleet.Step()
 	t := sa.world.Fleet.Slot()
+	tr.Mark(StageOfferGather)
 
 	// Route offers: each sensor belongs to exactly one shard.
 	parts := make([][]core.Offer, len(sa.shards))
@@ -279,6 +282,7 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 		parts[k] = append(parts[k], o)
 		gidx[k] = append(gidx[k], i)
 	}
+	tr.Mark(StageRoute)
 
 	// Per-shard passes run concurrently: lanes share only read-only world
 	// state (sensor positions, the phenomenon field, GP model), and each
@@ -293,6 +297,7 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 		}(k)
 	}
 	wg.Wait()
+	tr.Mark(StageShardSelect)
 
 	// Spanning pass: cross-shard queries compete for the residual supply,
 	// the offers no shard selected.
@@ -312,12 +317,15 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 		}
 		spanExec = sa.span.executeSlot(t, residual, true)
 	}
+	tr.Mark(StageSpanning)
 
 	rep, selected := sa.reconcile(t, len(offers), parts, execs, gidx, spanExec)
+	tr.Mark(StageReconcile)
 
 	// Data acquisition and accounting (stage 5 of Algorithm 5), once over
 	// the union of the lanes' selections.
 	sa.world.Fleet.Commit(selected)
+	tr.Mark(StageCommit)
 	mixes := make([]*core.MixSlotResult, 0, len(execs)+1)
 	for _, ex := range execs {
 		mixes = append(mixes, ex.mix)
@@ -338,6 +346,8 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 	sa.order.each(func(s *[]shardedEntry) {
 		*s = slices.DeleteFunc(*s, func(e shardedEntry) bool { return e.end <= t })
 	})
+	tr.Mark(StageAccounting)
+	rep.Stages = tr.Spans()
 	return rep
 }
 

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"time"
 
 	ps "repro"
 )
@@ -372,6 +373,19 @@ type Metrics struct {
 	// engine (the entry with "spanning":true is the cross-shard pass);
 	// absent on an unsharded engine.
 	Shards []ShardMetrics `json:"shards,omitempty"`
+	// SlotStages is the cumulative per-stage slot latency breakdown in
+	// pipeline order; absent before the first executed slot.
+	SlotStages []StageMetrics `json:"slot_stages,omitempty"`
+}
+
+// StageMetrics is one pipeline stage's cumulative latency inside
+// Metrics (see ps.StageStats).
+type StageMetrics struct {
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	LastMs  float64 `json:"last_ms"`
+	MaxMs   float64 `json:"max_ms"`
 }
 
 // ShardMetrics is one geographic shard's cumulative contribution inside
@@ -394,6 +408,17 @@ type ShardMetrics struct {
 // configured is the server's configured selection strategy (the engine
 // snapshot only knows the last executed slot's).
 func MetricsFrom(m ps.EngineMetrics, configured string) Metrics {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var stages []StageMetrics
+	for _, s := range m.SlotStages {
+		stages = append(stages, StageMetrics{
+			Stage:   s.Stage,
+			Count:   s.Count,
+			TotalMs: ms(s.Total),
+			LastMs:  ms(s.Last),
+			MaxMs:   ms(s.Max),
+		})
+	}
 	var shards []ShardMetrics
 	for _, s := range m.Shards {
 		shards = append(shards, ShardMetrics{
@@ -412,6 +437,7 @@ func MetricsFrom(m ps.EngineMetrics, configured string) Metrics {
 	}
 	return Metrics{
 		Shards:                  shards,
+		SlotStages:              stages,
 		Slots:                   m.Slots,
 		LastSlot:                m.LastSlot,
 		TotalWelfare:            m.TotalWelfare,
@@ -449,11 +475,21 @@ type StrategyBody struct {
 	Status   string `json:"status,omitempty"`
 }
 
-// Healthz is the body of GET /healthz.
+// Healthz is the body of GET /healthz: liveness plus the serving
+// build's identity and uptime, so operators can tell at a glance what
+// is running and for how long.
 type Healthz struct {
 	OK         bool `json:"ok"`
 	Slots      int  `json:"slots"`
 	QueueDepth int  `json:"queue_depth"`
+	// Version is the main module's version (often "(devel)" for local
+	// builds); Revision the VCS revision baked in by the Go toolchain.
+	// Both are empty when build info is unavailable.
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	// UptimeSeconds is how long this server process has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response. Code, when
