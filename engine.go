@@ -131,6 +131,14 @@ type EngineMetrics struct {
 	LazyReevaluations       int64
 	SubmodularityViolations int64
 	FallbackRescans         int64
+	// Valuation-cache instrumentation (see core.SelectionStats): probe
+	// counts of the per-sensor footprint-geometry caches and the GP
+	// base-posterior observation accounting (rank-1 appends vs exact
+	// from-scratch rebuilds).
+	GeomCacheHits     int64
+	GeomCacheLookups  int64
+	PosteriorAppends  int64
+	PosteriorRebuilds int64
 	// Shards is the cumulative per-shard breakdown when the engine drives
 	// a ShardedAggregator (the last entry is the spanning pass); nil on an
 	// unsharded engine.
@@ -442,6 +450,10 @@ func (e *Engine) onSlot(rep *SlotReport, dur time.Duration) {
 	e.m.LazyReevaluations += rep.Selection.LazyReevaluations
 	e.m.SubmodularityViolations += rep.Selection.SubmodularityViolations
 	e.m.FallbackRescans += rep.Selection.FallbackRescans
+	e.m.GeomCacheHits += rep.Selection.GeomCacheHits
+	e.m.GeomCacheLookups += rep.Selection.GeomCacheLookups
+	e.m.PosteriorAppends += rep.Selection.PosteriorAppends
+	e.m.PosteriorRebuilds += rep.Selection.PosteriorRebuilds
 	if len(rep.Shards) > 0 {
 		if len(e.m.Shards) != len(rep.Shards) {
 			e.m.Shards = make([]ShardStats, len(rep.Shards))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"slices"
 	"sync"
@@ -123,7 +124,8 @@ type SelectionStats struct {
 	// Strategy is the effective strategy label of the last run
 	// ("serial", "sharded", "lazy", "lazy-sharded").
 	Strategy string
-	// ValuationCalls counts State.Gain invocations actually made.
+	// ValuationCalls counts marginal-gain evaluations actually made —
+	// State.Gain invocations plus PairCached fast-path recombinations.
 	ValuationCalls int64
 	// SerialEquivCalls counts the Gain invocations an exhaustive scan
 	// with the same per-(sensor, query) version cache would have made.
@@ -139,6 +141,20 @@ type SelectionStats struct {
 	// FallbackRescans counts rounds the lazy strategy re-scanned every
 	// remaining candidate exhaustively after observing a violation.
 	FallbackRescans int64
+	// GeomCacheHits / GeomCacheLookups count per-sensor footprint-geometry
+	// cache probes inside valuation states (query.GeomCached): which
+	// coverage cells or trajectory samples a sensor's sensing disk
+	// reaches. A hit replaces a scan of the query's whole footprint with
+	// a walk of the sensor's (usually far smaller) in-range list.
+	GeomCacheHits    int64
+	GeomCacheLookups int64
+	// PosteriorAppends counts GP observations folded into a region-
+	// monitoring base posterior by rank-1 incremental update;
+	// PosteriorRebuilds counts observations replayed by an exact
+	// from-scratch recompute (cold cache, query reset, or conditioning
+	// degradation).
+	PosteriorAppends  int64
+	PosteriorRebuilds int64
 }
 
 // SavedCalls is the number of valuation calls the strategy avoided
@@ -161,6 +177,10 @@ func (s *SelectionStats) Accumulate(o SelectionStats) {
 	s.LazyReevaluations += o.LazyReevaluations
 	s.SubmodularityViolations += o.SubmodularityViolations
 	s.FallbackRescans += o.FallbackRescans
+	s.GeomCacheHits += o.GeomCacheHits
+	s.GeomCacheLookups += o.GeomCacheLookups
+	s.PosteriorAppends += o.PosteriorAppends
+	s.PosteriorRebuilds += o.PosteriorRebuilds
 }
 
 // GreedySelect is Algorithm 1: greedy multi-sensor selection across a set
@@ -242,6 +262,7 @@ func (cfg GreedyConfig) resolve(n int) (Strategy, int) {
 //     exhaustive-rescan fallback when a valuation proves non-submodular.
 func GreedySelectWith(queries []query.Query, offers []Offer, cfg GreedyConfig) *MultiResult {
 	s := newSelection(queries, offers)
+	defer s.release()
 	if len(queries) == 0 || len(offers) == 0 {
 		s.finalize()
 		return s.res
@@ -285,22 +306,42 @@ const submodularTolerance = 1e-12
 // invalidate precisely the affected (sensor, query) pairs, turning the
 // O(|Q||S|^2) valuation-call bound of Theorem 1 into a near-linear number
 // of calls on sparse instances.
+//
+// All per-pair bookkeeping lives in flat CSR arrays inside a pooled
+// selArena: relIdx[relOff[si]:relOff[si+1]] lists the query indices
+// relevant to sensor si (ascending), with gains/vers parallel to relIdx.
+// One run at metro scale touches millions of (sensor, query) pairs; the
+// flat layout replaces one small slice per sensor (tens of thousands of
+// allocations per slot, the bulk of the ~142MB-per-4-slots churn the
+// sharded-metro bench used to report) with a handful of pooled arrays.
 type selection struct {
 	queries []query.Query
 	offers  []Offer
 	states  []query.State
 	res     *MultiResult
 
-	// relevant lists, per sensor, the indices of queries it can improve
+	ar *selArena
+
+	// relOff/relIdx is the CSR form of "queries relevant to sensor si"
 	// (the Q_{l_s} of the pseudocode). Relevance is static within a slot.
-	relevant  [][]int
-	gainCache [][]float64
-	verCache  [][]int
-	qver      []int
+	relOff []int32
+	relIdx []int32
+	// gains/vers cache the last evaluated marginal gain of each
+	// (sensor, query) pair and the query version it was evaluated at
+	// (-1 = never).
+	gains []float64
+	vers  []int32
+	qver  []int32
+	// pcs holds the query.PairCached view of each state (nil when the
+	// state doesn't implement it), and base the memoized state-independent
+	// base value per pair (NaN = not yet computed). Bases never go stale:
+	// they depend only on the sensor and the query, not on commits.
+	pcs  []query.PairCached
+	base []float64
 	// relCount tracks, per query, how many remaining sensors are
 	// relevant to it — the pairs an exhaustive scan would re-evaluate
 	// after the query's version bumps (SerialEquivCalls accounting).
-	relCount  []int
+	relCount  []int32
 	remaining []bool
 	// submod marks queries advertising query.Submodular. Only their
 	// stale-gain increases count as violations: unmarked valuations
@@ -310,9 +351,82 @@ type selection struct {
 	// lastBumped lists the query indices whose version the most recent
 	// commit advanced (scratch reused across rounds; lazy maintenance
 	// reads it to refresh non-submodular valuations eagerly).
-	lastBumped []int
+	lastBumped []int32
 
 	stats SelectionStats
+}
+
+// selArena owns the reusable scratch of a selection run. Nothing in it
+// escapes into the MultiResult, so GreedySelectWith returns it to a
+// sync.Pool once finalize has copied the outputs out; concurrent shard
+// lanes each draw their own arena.
+type selArena struct {
+	relOff     []int32
+	relIdx     []int32
+	gains      []float64
+	vers       []int32
+	qver       []int32
+	relCount   []int32
+	remaining  []bool
+	submod     []bool
+	lastBumped []int32
+	pcs        []query.PairCached
+	base       []float64
+
+	// lazyLoop scratch.
+	curNet    []float64
+	heap      lazyHeap
+	touched   []bool
+	touchList []int32
+	volOff    []int32
+	volRefs   []volRef
+
+	// relevance-index scratch (buildRelevance).
+	cellQueries [][]int32
+	globalQs    []int32
+	merged      []int32
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(selArena) }}
+
+// growInt32 returns buf resized to n, reallocating only when capacity is
+// short. Contents are unspecified.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growFloat64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// release returns the arena to the pool. Safe to call more than once.
+func (s *selection) release() {
+	if s.ar == nil {
+		return
+	}
+	ar := s.ar
+	s.ar = nil
+	s.relOff, s.relIdx, s.gains, s.vers = nil, nil, nil, nil
+	s.qver, s.relCount, s.lastBumped = nil, nil, nil
+	s.remaining, s.submod = nil, nil
+	s.pcs, s.base = nil, nil
+	// Interface slots in the pooled pcs buffer would otherwise pin this
+	// run's states past the run.
+	clear(ar.pcs)
+	arenaPool.Put(ar)
 }
 
 // evalCounters accumulates per-goroutine valuation accounting; shards get
@@ -341,38 +455,199 @@ func newSelection(queries []query.Query, offers []Offer) *selection {
 		return s
 	}
 
-	s.relevant = make([][]int, len(offers))
-	s.relCount = make([]int, len(queries))
-	s.submod = make([]bool, len(queries))
-	for qi, q := range queries {
-		s.submod[qi] = query.IsSubmodular(q)
+	ar := arenaPool.Get().(*selArena)
+	s.ar = ar
+	nq, no := len(queries), len(offers)
+	s.relCount = growInt32(ar.relCount, nq)
+	s.qver = growInt32(ar.qver, nq)
+	s.submod = growBool(ar.submod, nq)
+	if cap(ar.pcs) < nq {
+		ar.pcs = make([]query.PairCached, nq)
 	}
-	for si, o := range offers {
-		for qi, q := range queries {
-			if q.Relevant(o.Sensor) {
-				s.relevant[si] = append(s.relevant[si], qi)
-				s.relCount[qi]++
-			}
-		}
+	s.pcs = ar.pcs[:nq]
+	for qi := range queries {
+		s.relCount[qi] = 0
+		s.qver[qi] = 0
+		s.submod[qi] = query.IsSubmodular(queries[qi])
+		s.pcs[qi], _ = s.states[qi].(query.PairCached)
 	}
-	s.gainCache = make([][]float64, len(offers))
-	s.verCache = make([][]int, len(offers))
-	for si := range offers {
-		s.gainCache[si] = make([]float64, len(s.relevant[si]))
-		s.verCache[si] = make([]int, len(s.relevant[si]))
-		for k := range s.verCache[si] {
-			s.verCache[si][k] = -1
-		}
-		// The exhaustive scan evaluates every relevant pair once up
-		// front (version -1 -> 0).
-		s.stats.SerialEquivCalls += int64(len(s.relevant[si]))
+	s.lastBumped = ar.lastBumped[:0]
+
+	s.buildRelevance()
+
+	npairs := len(s.relIdx)
+	s.gains = growFloat64(ar.gains, npairs)
+	s.vers = growInt32(ar.vers, npairs)
+	for i := range s.vers {
+		s.vers[i] = -1
 	}
-	s.qver = make([]int, len(queries))
-	s.remaining = make([]bool, len(offers))
+	// The exhaustive scan evaluates every relevant pair once up front
+	// (version -1 -> 0).
+	s.stats.SerialEquivCalls += int64(npairs)
+	s.remaining = growBool(ar.remaining, no)
 	for i := range s.remaining {
 		s.remaining[i] = true
 	}
+	ar.relCount, ar.qver, ar.submod = s.relCount, s.qver, s.submod
+	ar.gains, ar.vers, ar.remaining = s.gains, s.vers, s.remaining
+	ar.base = s.base
 	return s
+}
+
+// relevanceIndexMinWork is the candidate-pair count (offers × queries)
+// above which buildRelevance buckets query footprints in a grid instead
+// of testing every pair; below it the naive double loop is cheaper than
+// building the index.
+const relevanceIndexMinWork = 1 << 15
+
+// relevanceGridDim is the resolution (per axis) of the footprint bucket
+// grid over the offered sensors' bounding box.
+const relevanceGridDim = 32
+
+// buildRelevance fills relOff/relIdx (and relCount) with the relevant
+// query indices of every sensor, ascending, and the parallel base array:
+// queries advertising query.RelevanceBased yield their PairCached base
+// value as a byproduct of the relevance test, so the pair's first gain
+// evaluation skips the distance/quality math entirely; other pairs get
+// the NaN not-yet-computed sentinel. On large instances it prunes
+// Relevant calls with a footprint grid: queries advertising
+// query.Footprinted are bucketed into the grid cells their footprint
+// overlaps, and each sensor tests only its own cell's bucket (plus the
+// unfootprinted rest). The bucket of a sensor's cell is a superset of
+// its relevant footprinted queries and every candidate still goes
+// through Relevant in ascending query order, so the resulting CSR rows
+// are identical to the naive double loop's.
+func (s *selection) buildRelevance() {
+	ar := s.ar
+	nq, no := len(s.queries), len(s.offers)
+	s.relOff = growInt32(ar.relOff, no+1)
+	s.relIdx = ar.relIdx[:0]
+	s.base = ar.base[:0]
+	s.relOff[0] = 0
+
+	rbs := make([]query.RelevanceBased, nq)
+	for qi, q := range s.queries {
+		rbs[qi], _ = q.(query.RelevanceBased)
+	}
+	nan := math.NaN()
+	appendRelevant := func(si int, o Offer, candidates []int32) {
+		for _, qi := range candidates {
+			if rb := rbs[qi]; rb != nil {
+				ok, b := rb.RelevantBase(o.Sensor)
+				if !ok {
+					continue
+				}
+				s.relIdx = append(s.relIdx, qi)
+				s.base = append(s.base, b)
+				s.relCount[qi]++
+			} else if s.queries[qi].Relevant(o.Sensor) {
+				s.relIdx = append(s.relIdx, qi)
+				s.base = append(s.base, nan)
+				s.relCount[qi]++
+			}
+		}
+		s.relOff[si+1] = int32(len(s.relIdx))
+	}
+
+	useIndex := no*nq >= relevanceIndexMinWork
+	var anyFoot bool
+	if useIndex {
+		for _, q := range s.queries {
+			if _, ok := q.(query.Footprinted); ok {
+				anyFoot = true
+				break
+			}
+		}
+	}
+	if !useIndex || !anyFoot {
+		all := growInt32(ar.merged, nq)
+		for qi := range s.queries {
+			all[qi] = int32(qi)
+		}
+		ar.merged = all
+		for si, o := range s.offers {
+			appendRelevant(si, o, all)
+		}
+		ar.relOff, ar.relIdx, ar.base = s.relOff, s.relIdx, s.base
+		return
+	}
+
+	// Bounding box of the offered sensors; footprints are clipped to it.
+	minX, minY := s.offers[0].Sensor.Pos.X, s.offers[0].Sensor.Pos.Y
+	maxX, maxY := minX, minY
+	for _, o := range s.offers[1:] {
+		p := o.Sensor.Pos
+		minX, maxX = min(minX, p.X), max(maxX, p.X)
+		minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+	}
+	cw := (maxX - minX) / relevanceGridDim
+	ch := (maxY - minY) / relevanceGridDim
+	cellOf := func(v, lo, step float64) int {
+		if step <= 0 {
+			return 0
+		}
+		c := int((v - lo) / step)
+		if c < 0 {
+			c = 0
+		}
+		if c >= relevanceGridDim {
+			c = relevanceGridDim - 1
+		}
+		return c
+	}
+
+	cells := ar.cellQueries
+	if len(cells) < relevanceGridDim*relevanceGridDim {
+		cells = make([][]int32, relevanceGridDim*relevanceGridDim)
+	}
+	for i := range cells {
+		cells[i] = cells[i][:0]
+	}
+	ar.cellQueries = cells
+	global := ar.globalQs[:0]
+	for qi, q := range s.queries {
+		f, ok := q.(query.Footprinted)
+		if !ok {
+			global = append(global, int32(qi))
+			continue
+		}
+		r := f.RelevanceFootprint()
+		if r.MaxX < minX || r.MinX > maxX || r.MaxY < minY || r.MinY > maxY {
+			continue // footprint misses every offered sensor
+		}
+		i0, i1 := cellOf(r.MinX, minX, cw), cellOf(r.MaxX, minX, cw)
+		j0, j1 := cellOf(r.MinY, minY, ch), cellOf(r.MaxY, minY, ch)
+		for j := j0; j <= j1; j++ {
+			for i := i0; i <= i1; i++ {
+				cells[j*relevanceGridDim+i] = append(cells[j*relevanceGridDim+i], int32(qi))
+			}
+		}
+	}
+	ar.globalQs = global
+
+	merged := ar.merged[:0]
+	for si, o := range s.offers {
+		p := o.Sensor.Pos
+		bucket := cells[cellOf(p.Y, minY, ch)*relevanceGridDim+cellOf(p.X, minX, cw)]
+		// Merge the global (unfootprinted) and bucket lists, both
+		// ascending, so candidates arrive in the naive loop's order.
+		merged = merged[:0]
+		gi, bi := 0, 0
+		for gi < len(global) && bi < len(bucket) {
+			if global[gi] < bucket[bi] {
+				merged = append(merged, global[gi])
+				gi++
+			} else {
+				merged = append(merged, bucket[bi])
+				bi++
+			}
+		}
+		merged = append(merged, global[gi:]...)
+		merged = append(merged, bucket[bi:]...)
+		appendRelevant(si, o, merged)
+	}
+	ar.merged = merged
+	ar.relOff, ar.relIdx, ar.base = s.relOff, s.relIdx, s.base
 }
 
 // evalSensor returns the sensor's current net benefit -c_a + sum of
@@ -381,17 +656,28 @@ func newSelection(queries []query.Query, offers []Offer) *selection {
 // counted as a submodularity violation.
 func (s *selection) evalSensor(si int, c *evalCounters) float64 {
 	net := -s.offers[si].Cost
-	for k, qi := range s.relevant[si] {
-		if s.verCache[si][k] != s.qver[qi] {
-			g := s.states[qi].Gain(s.offers[si].Sensor)
+	for idx := s.relOff[si]; idx < s.relOff[si+1]; idx++ {
+		qi := s.relIdx[idx]
+		if s.vers[idx] != s.qver[qi] {
+			var g float64
+			if pc := s.pcs[qi]; pc != nil {
+				b := s.base[idx]
+				if b != b { // NaN sentinel: base not yet computed
+					b = pc.BaseValue(s.offers[si].Sensor)
+					s.base[idx] = b
+				}
+				g = pc.GainFrom(b)
+			} else {
+				g = s.states[qi].Gain(s.offers[si].Sensor)
+			}
 			c.calls++
-			if s.submod[qi] && s.verCache[si][k] >= 0 && g > s.gainCache[si][k]+submodularTolerance {
+			if s.submod[qi] && s.vers[idx] >= 0 && g > s.gains[idx]+submodularTolerance {
 				c.violations++
 			}
-			s.gainCache[si][k] = g
-			s.verCache[si][k] = s.qver[qi]
+			s.gains[idx] = g
+			s.vers[idx] = s.qver[qi]
 		}
-		if dv := s.gainCache[si][k]; dv > 0 {
+		if dv := s.gains[idx]; dv > 0 {
 			net += dv
 		}
 	}
@@ -401,8 +687,8 @@ func (s *selection) evalSensor(si int, c *evalCounters) float64 {
 // fresh reports whether every cached gain of the sensor matches the
 // current query versions, i.e. cachedNet(si) is exact right now.
 func (s *selection) fresh(si int) bool {
-	for k, qi := range s.relevant[si] {
-		if s.verCache[si][k] != s.qver[qi] {
+	for idx := s.relOff[si]; idx < s.relOff[si+1]; idx++ {
+		if s.vers[idx] != s.qver[s.relIdx[idx]] {
 			return false
 		}
 	}
@@ -414,8 +700,8 @@ func (s *selection) fresh(si int) bool {
 // floats are identical when the caches are fresh).
 func (s *selection) cachedNet(si int) float64 {
 	net := -s.offers[si].Cost
-	for k := range s.relevant[si] {
-		if dv := s.gainCache[si][k]; dv > 0 {
+	for idx := s.relOff[si]; idx < s.relOff[si+1]; idx++ {
+		if dv := s.gains[idx]; dv > 0 {
 			net += dv
 		}
 	}
@@ -429,16 +715,17 @@ func (s *selection) cachedNet(si int) float64 {
 func (s *selection) commit(si int, net float64) {
 	o := s.offers[si]
 	var sumDv float64
-	for k, qi := range s.relevant[si] {
-		if s.verCache[si][k] == s.qver[qi] && s.gainCache[si][k] > 0 {
-			sumDv += s.gainCache[si][k]
+	for idx := s.relOff[si]; idx < s.relOff[si+1]; idx++ {
+		if s.vers[idx] == s.qver[s.relIdx[idx]] && s.gains[idx] > 0 {
+			sumDv += s.gains[idx]
 		}
 	}
 	s.lastBumped = s.lastBumped[:0]
-	for k, qi := range s.relevant[si] {
+	for idx := s.relOff[si]; idx < s.relOff[si+1]; idx++ {
+		qi := s.relIdx[idx]
 		s.relCount[qi]--
-		dv := s.gainCache[si][k]
-		if s.verCache[si][k] != s.qver[qi] || dv <= 0 {
+		dv := s.gains[idx]
+		if s.vers[idx] != s.qver[qi] || dv <= 0 {
 			continue
 		}
 		st := s.states[qi]
@@ -452,6 +739,7 @@ func (s *selection) commit(si int, net float64) {
 		out.Sensors = append(out.Sensors, o.Sensor)
 		out.Payments[o.Sensor.ID] += dv * o.Cost / sumDv
 	}
+	s.ar.lastBumped = s.lastBumped
 	s.remaining[si] = false
 	s.res.Selected = append(s.res.Selected, o.Sensor)
 	s.res.Trace = append(s.res.Trace, SelectionStep{
@@ -460,12 +748,18 @@ func (s *selection) commit(si int, net float64) {
 	s.res.TotalCost += o.Cost
 }
 
-// finalize fills per-query values, the total value and the stats.
+// finalize fills per-query values, the total value and the stats,
+// harvesting geometry-cache counters from states that expose them.
 func (s *selection) finalize() {
 	for i, q := range s.queries {
 		out := s.res.Outcomes[q.QID()]
 		out.Value = s.states[i].Value()
 		s.res.TotalValue += out.Value
+		if gc, ok := s.states[i].(query.GeomCached); ok {
+			h, l := gc.GeomCacheStats()
+			s.stats.GeomCacheHits += h
+			s.stats.GeomCacheLookups += l
+		}
 	}
 	s.res.Stats = s.stats
 }

@@ -139,9 +139,10 @@ func (h lazyHeap) siftDown(i int) {
 }
 
 // volRef locates one (sensor, query) gain-cache slot of a volatile
-// (non-submodular) query.
+// (non-submodular) query: the sensor index and the slot's flat index
+// into the selection's CSR gains/vers arrays.
 type volRef struct {
-	si, k int
+	si, idx int32
 }
 
 // lazyLoop is the CELF-style selection loop.
@@ -154,7 +155,9 @@ type volRef struct {
 // such bound — their cached gains are instead refreshed *eagerly* after
 // every commit that touches them, so each entry's priority is always
 // exact-volatile-part plus bounded-submodular-part, i.e. still a valid
-// upper bound.
+// upper bound. The aggregate and trajectory states keep their
+// newly-covered counts incrementally, so each eager refresh is O(1)
+// arithmetic rather than a geometry walk.
 //
 // The heap orders entries by (net desc, sensor index asc); superseded
 // entries are skipped on pop (lazy deletion keyed on curNet). When a
@@ -173,26 +176,51 @@ type volRef struct {
 // is guaranteed by truthful markers, not by detection.
 func (s *selection) lazyLoop(sharded bool, workers int) {
 	// Build the reverse index volatile maintenance needs (query -> its
-	// gain-cache slots); the submodular classification lives on the
-	// selection (newSelection).
+	// gain-cache slots) in CSR form over the arena; the submodular
+	// classification lives on the selection (newSelection).
+	ar := s.ar
 	anyVol := false
 	for qi := range s.queries {
 		anyVol = anyVol || !s.submod[qi]
 	}
-	var volPairs [][]volRef
+	var volOff []int32
+	var volRefs []volRef
 	if anyVol {
-		volPairs = make([][]volRef, len(s.queries))
+		volOff = growInt32(ar.volOff, len(s.queries)+1)
+		for i := range volOff {
+			volOff[i] = 0
+		}
+		for _, qi := range s.relIdx {
+			if !s.submod[qi] {
+				volOff[qi+1]++
+			}
+		}
+		for qi := 0; qi < len(s.queries); qi++ {
+			volOff[qi+1] += volOff[qi]
+		}
+		nvol := int(volOff[len(s.queries)])
+		if cap(ar.volRefs) < nvol {
+			ar.volRefs = make([]volRef, nvol)
+		}
+		volRefs = ar.volRefs[:nvol]
+		cursor := growInt32(ar.touchList, len(s.queries))
+		copy(cursor, volOff[:len(s.queries)])
 		for si := range s.offers {
-			for k, qi := range s.relevant[si] {
+			for idx := s.relOff[si]; idx < s.relOff[si+1]; idx++ {
+				qi := s.relIdx[idx]
 				if !s.submod[qi] {
-					volPairs[qi] = append(volPairs[qi], volRef{si: si, k: k})
+					volRefs[cursor[qi]] = volRef{si: int32(si), idx: idx}
+					cursor[qi]++
 				}
 			}
 		}
+		ar.volOff, ar.touchList = volOff, cursor
 	}
 
-	curNet := make([]float64, len(s.offers))
-	h := make(lazyHeap, 0, len(s.offers))
+	curNet := growFloat64(ar.curNet, len(s.offers))
+	ar.curNet = curNet
+	h := ar.heap[:0]
+	defer func() { ar.heap = h[:0] }()
 	rebuild := func() {
 		s.refreshRemaining(sharded, workers)
 		h = h[:0]
@@ -206,8 +234,12 @@ func (s *selection) lazyLoop(sharded bool, workers int) {
 	}
 	rebuild()
 
-	touched := make([]bool, len(s.offers))
-	var touchList []int
+	touched := growBool(ar.touched, len(s.offers))
+	for i := range touched {
+		touched[i] = false
+	}
+	ar.touched = touched
+	var touchList []int32
 	var c evalCounters
 	for len(h) > 0 {
 		e := h.popTop()
@@ -224,19 +256,36 @@ func (s *selection) lazyLoop(sharded bool, workers int) {
 			if anyVol {
 				// Volatile queries just bumped: restore exact gains for
 				// every remaining sensor they touch and re-prioritize.
+				// Each refresh is O(1) arithmetic — the aggregate and
+				// trajectory states maintain their newly-covered counts
+				// incrementally — so the row rebuild and heap push per
+				// touched sensor dominate, not the valuation itself.
 				touchList = touchList[:0]
 				for _, qi := range s.lastBumped {
 					if s.submod[qi] {
 						continue
 					}
-					for _, ref := range volPairs[qi] {
+					st := s.states[qi]
+					for _, ref := range volRefs[volOff[qi]:volOff[qi+1]] {
 						if !s.remaining[ref.si] {
 							continue
 						}
-						s.gainCache[ref.si][ref.k] = s.states[qi].Gain(s.offers[ref.si].Sensor)
-						s.verCache[ref.si][ref.k] = s.qver[qi]
+						old := s.gains[ref.idx]
+						g := st.Gain(s.offers[ref.si].Sensor)
+						s.gains[ref.idx] = g
+						s.vers[ref.idx] = s.qver[qi]
 						c.calls++
-						if !touched[ref.si] {
+						// The sensor's net sums only positive gains, so its
+						// priority moved iff the positive part moved; most
+						// refreshes of a saturated aggregate swing one
+						// negative gain to another and need no re-push.
+						if old < 0 {
+							old = 0
+						}
+						if g < 0 {
+							g = 0
+						}
+						if old != g && !touched[ref.si] {
 							touched[ref.si] = true
 							touchList = append(touchList, ref.si)
 						}
@@ -244,8 +293,8 @@ func (s *selection) lazyLoop(sharded bool, workers int) {
 				}
 				for _, si := range touchList {
 					touched[si] = false
-					curNet[si] = s.cachedNet(si)
-					h.push(lazyEntry{si: si, net: curNet[si]})
+					curNet[si] = s.cachedNet(int(si))
+					h.push(lazyEntry{si: int(si), net: curNet[si]})
 				}
 			}
 			continue

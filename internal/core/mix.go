@@ -128,6 +128,7 @@ func RunMixSlotWith(t int, qs MixQueries, offers []Offer, cfg GreedyConfig) *Mix
 	}
 	rmBefore := make(map[string]float64)
 	rmPlans := make([]*regPlan, 0, len(activeRM))
+	var postAppended, postRebuilt int64
 	for _, q := range activeRM {
 		rmBefore[q.ID] = q.Value()
 		var inRegion []Offer
@@ -139,7 +140,9 @@ func RunMixSlotWith(t int, qs MixQueries, offers []Offer, cfg GreedyConfig) *Mix
 			inRegion = append(inRegion, o)
 			costs = append(costs, o.Cost*WeightEq18(shareCount[o.Sensor.ID]))
 		}
-		planned := selectSamplingPoints(q, inRegion, costs, q.RemainingBudget(), t, 0)
+		planned, appended, rebuilt := selectSamplingPoints(q, inRegion, costs, q.RemainingBudget(), t, 0)
+		postAppended += appended
+		postRebuilt += rebuilt
 		if len(planned) == 0 {
 			continue
 		}
@@ -184,6 +187,8 @@ func RunMixSlotWith(t int, qs MixQueries, offers []Offer, cfg GreedyConfig) *Mix
 	all = append(all, qs.Extra...)
 	all = append(all, generated...)
 	multi := GreedySelectWith(all, offers, cfg)
+	multi.Stats.PosteriorAppends += postAppended
+	multi.Stats.PosteriorRebuilds += postRebuilt
 	res.Multi = multi
 	res.TotalCost = multi.TotalCost
 

@@ -113,6 +113,7 @@ func RunRegionMonitoringSlot(t int, queries []*query.RegionMonitoring, offers []
 
 	valueBefore := make(map[string]float64, len(active))
 	var pts []*query.Point
+	var postAppended, postRebuilt int64
 	plans := make([]*regPlan, 0, len(active))
 	for _, q := range active {
 		valueBefore[q.ID] = q.Value()
@@ -130,7 +131,9 @@ func RunRegionMonitoringSlot(t int, queries []*query.RegionMonitoring, offers []
 			inRegion = append(inRegion, o)
 			costs = append(costs, c)
 		}
-		planned := selectSamplingPoints(q, inRegion, costs, q.RemainingBudget(), t, opts.MaxPlanningTimes)
+		planned, appended, rebuilt := selectSamplingPoints(q, inRegion, costs, q.RemainingBudget(), t, opts.MaxPlanningTimes)
+		postAppended += appended
+		postRebuilt += rebuilt
 		if len(planned) == 0 {
 			continue
 		}
@@ -167,6 +170,8 @@ func RunRegionMonitoringSlot(t int, queries []*query.RegionMonitoring, offers []
 
 	res := opts.Solver(pts, offers)
 	out.Point = res
+	out.Point.Stats.PosteriorAppends += postAppended
+	out.Point.Stats.PosteriorRebuilds += postRebuilt
 
 	// ApplyResults: record satisfied samples.
 	recorded := make(map[*query.RegionMonitoring]map[int]bool)
@@ -264,9 +269,13 @@ func marginalRegionValue(q *query.RegionMonitoring, s *sensornet.Sensor) float64
 // current-time selections are returned. The time-discount factor "is an
 // attempt to increase the chance of selecting sensors for the current
 // time" (§3.3). Marginal F evaluations use the incremental GP posterior.
-func selectSamplingPoints(q *query.RegionMonitoring, inRegion []Offer, costs []float64, budget float64, tc, maxTimes int) []int {
+// It returns the selected in-region offer indices plus the posterior
+// cache accounting of this call: how many accumulated observations were
+// folded in by rank-1 append vs replayed by a from-scratch rebuild
+// (see query.RegionMonitoring.BasePosterior).
+func selectSamplingPoints(q *query.RegionMonitoring, inRegion []Offer, costs []float64, budget float64, tc, maxTimes int) (sel []int, appended, rebuilt int64) {
 	if len(inRegion) == 0 || budget <= 0 {
-		return nil
+		return nil, 0, 0
 	}
 	if maxTimes <= 0 {
 		maxTimes = 8
@@ -287,11 +296,11 @@ func selectSamplingPoints(q *query.RegionMonitoring, inRegion []Offer, costs []f
 	// observations, so marginals measure genuinely new information. (The
 	// paper's pseudocode resets S_t to empty each slot; conditioning on
 	// q.S keeps a saturated query from re-buying what it already knows,
-	// which matches the intent of the budget control C-hat.)
-	base := q.Model.NewPosterior(q.Targets())
-	for _, p := range q.ObsPoints {
-		base.Add(p)
-	}
+	// which matches the intent of the budget control C-hat.) The base
+	// factorization is cached on the query across slots and extended by
+	// rank-1 appends; it stays owned by the query, so every tracker is a
+	// clone, never the base itself.
+	base, appended, rebuilt := q.BasePosterior()
 	trackers := make([]*gp.Posterior, len(times))
 	for i := range trackers {
 		trackers[i] = base.Clone()
@@ -340,7 +349,7 @@ func selectSamplingPoints(q *query.RegionMonitoring, inRegion []Offer, costs []f
 			currentSel = append(currentSel, bestS)
 		}
 	}
-	return currentSel
+	return currentSel, appended, rebuilt
 }
 
 // sensorPositions extracts sensor positions.

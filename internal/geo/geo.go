@@ -108,6 +108,13 @@ func (r Rect) DistToPoint(p Point) float64 {
 	return p.Dist(r.Clamp(p))
 }
 
+// Expand returns r grown by d on every side, so that
+// r.DistToPoint(p) <= d implies r.Expand(d).Contains(p). Negative d
+// shrinks the rectangle (and may invert it).
+func (r Rect) Expand(d float64) Rect {
+	return Rect{MinX: r.MinX - d, MinY: r.MinY - d, MaxX: r.MaxX + d, MaxY: r.MaxY + d}
+}
+
 // String implements fmt.Stringer.
 func (r Rect) String() string {
 	return fmt.Sprintf("[%.1f,%.1f]x[%.1f,%.1f]", r.MinX, r.MaxX, r.MinY, r.MaxY)

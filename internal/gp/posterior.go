@@ -30,7 +30,20 @@ type Posterior struct {
 	postVar []float64   // current posterior variance per target
 	l       [][]float64 // lower-triangular rows of chol(K_SS + noise I)
 	w       [][]float64 // W rows, one per observation
+
+	// degraded latches when an accepted observation's residual variance d
+	// fell below degradedFraction of its prior scale: the Cholesky row
+	// divides by sqrt(d), so later rows amplify rounding error once d is
+	// tiny. Callers that keep a Posterior alive across batches (the
+	// region-monitoring base-posterior cache) treat the flag as a signal
+	// to rebuild from scratch instead of appending further rows.
+	degraded bool
 }
+
+// degradedFraction is the conditioning threshold of Degraded: an accepted
+// observation whose residual variance d is below this fraction of its
+// prior scale k(s,s)+noise marks the factorization as degraded.
+const degradedFraction = 1e-9
 
 // NewPosterior starts tracking the posterior over the given targets with
 // no observations.
@@ -107,6 +120,9 @@ func (p *Posterior) Add(s geo.Point) {
 	if d <= 1e-12 {
 		return
 	}
+	if d < degradedFraction*(p.gp.Kernel.Var(s)+p.gp.Noise) {
+		p.degraded = true
+	}
 	root := math.Sqrt(d)
 	newW := make([]float64, len(p.targets))
 	for vi, t := range p.targets {
@@ -147,16 +163,25 @@ func (p *Posterior) TotalPrior() float64 {
 	return sum
 }
 
+// Degraded reports whether any accepted observation was ill-conditioned
+// (residual variance below degradedFraction of its prior scale). A
+// degraded tracker still answers queries — every Add so far used the
+// exact same arithmetic a from-scratch replay of the observation
+// sequence would — but appending further rows risks amplified rounding,
+// so long-lived caches should rebuild instead of appending.
+func (p *Posterior) Degraded() bool { return p.degraded }
+
 // Clone returns an independent copy of the tracker, so branch-and-bound or
 // per-time-instance selections (Algorithm 4 keeps one set per future time
 // slot) can diverge cheaply.
 func (p *Posterior) Clone() *Posterior {
 	cp := &Posterior{
-		gp:      p.gp,
-		targets: p.targets,
-		obs:     append([]geo.Point(nil), p.obs...),
-		prior:   p.prior,
-		postVar: append([]float64(nil), p.postVar...),
+		gp:       p.gp,
+		targets:  p.targets,
+		obs:      append([]geo.Point(nil), p.obs...),
+		prior:    p.prior,
+		postVar:  append([]float64(nil), p.postVar...),
+		degraded: p.degraded,
 	}
 	cp.l = make([][]float64, len(p.l))
 	for i, row := range p.l {

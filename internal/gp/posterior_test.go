@@ -127,3 +127,72 @@ func BenchmarkPosteriorMarginal(b *testing.B) {
 		p.MarginalReduction(geo.Pt(5, 4))
 	}
 }
+
+// TestPosteriorAppendMatchesReplayBitForBit: a long-lived tracker that
+// had observations appended one at a time is indistinguishable — exact
+// float equality, not tolerance — from a fresh tracker replaying the
+// same observation sequence. This is the contract the region-monitoring
+// base-posterior cache depends on: counting an Add as a rank-1
+// "append" (PosteriorAppends) versus replaying the whole sequence after
+// a rebuild (PosteriorRebuilds) must never change a marginal, so the
+// lazy-greedy strategy-equivalence guarantee survives the cache.
+func TestPosteriorAppendMatchesReplayBitForBit(t *testing.T) {
+	g := New(SquaredExponential{Sigma2: 2.5, Length: 1.8}, 0.05)
+	targets := geo.NewUnitGrid(7, 7).CellsIn(geo.NewRect(0, 0, 7, 7))
+	s := rng.New(99, "append-vs-replay")
+
+	incr := g.NewPosterior(targets)
+	var obs []geo.Point
+	for step := 0; step < 12; step++ {
+		pt := geo.Pt(s.Uniform(0, 7), s.Uniform(0, 7))
+		incr.Add(pt)
+		obs = append(obs, pt)
+
+		scratch := g.NewPosterior(targets)
+		for _, o := range obs {
+			scratch.Add(o)
+		}
+		if got, want := incr.TotalReduction(), scratch.TotalReduction(); got != want {
+			t.Fatalf("step %d: appended TotalReduction %v != replayed %v", step, got, want)
+		}
+		probe := geo.Pt(s.Uniform(0, 7), s.Uniform(0, 7))
+		if got, want := incr.MarginalReduction(probe), scratch.MarginalReduction(probe); got != want {
+			t.Fatalf("step %d: appended MarginalReduction %v != replayed %v", step, got, want)
+		}
+		if incr.Degraded() != scratch.Degraded() {
+			t.Fatalf("step %d: degraded flag diverged: %v vs %v", step, incr.Degraded(), scratch.Degraded())
+		}
+	}
+}
+
+// TestPosteriorDegradedFallback documents the numerical escape hatch:
+// near-duplicate observations drive the residual variance toward zero,
+// which latches Degraded. The tracker's answers up to that point still
+// match a from-scratch replay exactly (same arithmetic), so consumers
+// may finish the batch before rebuilding; the flag only warns that
+// *further* appends amplify rounding.
+func TestPosteriorDegradedFallback(t *testing.T) {
+	g := New(SquaredExponential{Sigma2: 1, Length: 2}, 1e-12)
+	targets := geo.NewUnitGrid(4, 4).CellsIn(geo.NewRect(0, 0, 4, 4))
+	p := g.NewPosterior(targets)
+	p.Add(geo.Pt(1.5, 1.5))
+	if p.Degraded() {
+		t.Fatal("fresh tracker already degraded")
+	}
+	// A second observation at (almost) the same spot leaves ~zero residual
+	// variance after conditioning on the first.
+	p.Add(geo.Pt(1.5+1e-9, 1.5))
+	if !p.Degraded() {
+		t.Fatal("near-duplicate observation did not latch Degraded")
+	}
+	scratch := g.NewPosterior(targets)
+	scratch.Add(geo.Pt(1.5, 1.5))
+	scratch.Add(geo.Pt(1.5+1e-9, 1.5))
+	if p.TotalReduction() != scratch.TotalReduction() {
+		t.Fatalf("degraded tracker diverged from replay: %v vs %v",
+			p.TotalReduction(), scratch.TotalReduction())
+	}
+	if !p.Clone().Degraded() {
+		t.Fatal("Clone dropped the degraded latch")
+	}
+}

@@ -53,6 +53,13 @@ func (a *Aggregate) Relevant(s *sensornet.Sensor) bool {
 	return a.Region.DistToPoint(s.Pos) <= a.MaxDist
 }
 
+// RelevanceFootprint implements Footprinted: Relevant tests
+// DistToPoint <= MaxDist, so the region expanded by MaxDist contains
+// every relevant sensor position.
+func (a *Aggregate) RelevanceFootprint() geo.Rect {
+	return a.Region.Expand(a.MaxDist)
+}
+
 // theta is the reading quality of a sensor for the aggregate: inaccuracy
 // and trust matter; the distance term of Eq. 4 is 1 because the sensor
 // measures at its own location inside (or at the edge of) the region.
@@ -82,9 +89,58 @@ type aggregateState struct {
 	coveredCnt int
 	sumTheta   float64
 	n          int
+
+	// cellCache memoizes, per sensor ID, the indices of cells within the
+	// sensing range of that sensor. Valid for the state's lifetime (one
+	// selection run = one world epoch): sensors do not move mid-slot, so
+	// a sensor's in-range cell set is a function of its position alone.
+	// Lazy-greedy calls Gain for the same sensor repeatedly as its cached
+	// bound goes stale; the cache turns each repeat into a walk of the
+	// sensor's (usually small) in-range list instead of all region cells.
+	cellCache map[int][]int32
+	// ncCache maintains, per sensor ID, how many of the sensor's in-range
+	// cells are currently uncovered — the nc of Gain — updated
+	// incrementally: a cell flips covered at most once (coverage is
+	// monotone), and the flip decrements every registered sensor via
+	// cellSensors. Gain is then O(1) arithmetic instead of a walk of the
+	// in-range list, with a bit-identical result (nc is an integer).
+	ncCache map[int]int32
+	// cellSensors registers, per still-uncovered cell, the sensor IDs
+	// whose ncCache entries count it. Freed cell by cell as coverage
+	// flips.
+	cellSensors [][]int32
+	hits        int64
+	lookups     int64
 }
 
 func (st *aggregateState) Query() Query { return st.q }
+
+// GeomCacheStats implements GeomCached.
+func (st *aggregateState) GeomCacheStats() (hits, lookups int64) {
+	return st.hits, st.lookups
+}
+
+// inRange returns the indices of st.cells within sensing range of s,
+// memoized by sensor ID.
+func (st *aggregateState) inRange(s *sensornet.Sensor) []int32 {
+	st.lookups++
+	if idx, ok := st.cellCache[s.ID]; ok {
+		st.hits++
+		return idx
+	}
+	r2 := st.q.SensingRange * st.q.SensingRange
+	idx := []int32{}
+	for i, c := range st.cells {
+		if c.Dist2(s.Pos) <= r2 {
+			idx = append(idx, int32(i))
+		}
+	}
+	if st.cellCache == nil {
+		st.cellCache = make(map[int][]int32)
+	}
+	st.cellCache[s.ID] = idx
+	return idx
+}
 
 func (st *aggregateState) value(coveredCnt int, sumTheta float64, n int) float64 {
 	if n == 0 || len(st.cells) == 0 {
@@ -98,15 +154,31 @@ func (st *aggregateState) Value() float64 {
 	return st.value(st.coveredCnt, st.sumTheta, st.n)
 }
 
+// newlyCovered returns how many cells s would newly cover, from the
+// incrementally maintained count when available. A miss walks the
+// sensor's in-range list once and registers the sensor on its uncovered
+// cells so later coverage flips keep the count current.
 func (st *aggregateState) newlyCovered(s *sensornet.Sensor) int {
-	r2 := st.q.SensingRange * st.q.SensingRange
-	cnt := 0
-	for i, c := range st.cells {
-		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
+	st.lookups++
+	if nc, ok := st.ncCache[s.ID]; ok {
+		st.hits++
+		return int(nc)
+	}
+	if st.cellSensors == nil {
+		st.cellSensors = make([][]int32, len(st.cells))
+	}
+	cnt := int32(0)
+	for _, i := range st.inRange(s) {
+		if !st.covered[i] {
 			cnt++
+			st.cellSensors[i] = append(st.cellSensors[i], int32(s.ID))
 		}
 	}
-	return cnt
+	if st.ncCache == nil {
+		st.ncCache = make(map[int]int32)
+	}
+	st.ncCache[s.ID] = cnt
+	return int(cnt)
 }
 
 func (st *aggregateState) Gain(s *sensornet.Sensor) float64 {
@@ -116,11 +188,16 @@ func (st *aggregateState) Gain(s *sensornet.Sensor) float64 {
 }
 
 func (st *aggregateState) Add(s *sensornet.Sensor) {
-	r2 := st.q.SensingRange * st.q.SensingRange
-	for i, c := range st.cells {
-		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
+	for _, i := range st.inRange(s) {
+		if !st.covered[i] {
 			st.covered[i] = true
 			st.coveredCnt++
+			if st.cellSensors != nil {
+				for _, sid := range st.cellSensors[i] {
+					st.ncCache[int(sid)]--
+				}
+				st.cellSensors[i] = nil
+			}
 		}
 	}
 	st.sumTheta += st.q.theta(s)
@@ -167,6 +244,13 @@ func (t *Trajectory) Relevant(s *sensornet.Sensor) bool {
 	return false
 }
 
+// RelevanceFootprint implements Footprinted: a relevant sensor is within
+// SensingRange of some sample point, all of which lie inside the path's
+// bounding rectangle.
+func (t *Trajectory) RelevanceFootprint() geo.Rect {
+	return t.Path.BoundingRect().Expand(t.SensingRange)
+}
+
 // NewState implements Query; the valuation mirrors Eq. 5 with polyline
 // coverage.
 func (t *Trajectory) NewState() State {
@@ -180,9 +264,47 @@ type trajectoryState struct {
 	coveredCnt int
 	sumTheta   float64
 	n          int
+
+	// sampleCache mirrors aggregateState.cellCache over the trajectory's
+	// sample points: per sensor ID, the indices of samples within sensing
+	// range, valid for the state's lifetime (sensors are fixed mid-slot).
+	sampleCache map[int][]int32
+	// ncCache/sampleSensors mirror aggregateState's incremental
+	// newly-covered maintenance over the sample points.
+	ncCache       map[int]int32
+	sampleSensors [][]int32
+	hits          int64
+	lookups       int64
 }
 
 func (st *trajectoryState) Query() Query { return st.q }
+
+// GeomCacheStats implements GeomCached.
+func (st *trajectoryState) GeomCacheStats() (hits, lookups int64) {
+	return st.hits, st.lookups
+}
+
+// inRange returns the indices of trajectory samples within sensing range
+// of s, memoized by sensor ID.
+func (st *trajectoryState) inRange(s *sensornet.Sensor) []int32 {
+	st.lookups++
+	if idx, ok := st.sampleCache[s.ID]; ok {
+		st.hits++
+		return idx
+	}
+	r2 := st.q.SensingRange * st.q.SensingRange
+	idx := []int32{}
+	for i, c := range st.q.samples {
+		if c.Dist2(s.Pos) <= r2 {
+			idx = append(idx, int32(i))
+		}
+	}
+	if st.sampleCache == nil {
+		st.sampleCache = make(map[int][]int32)
+	}
+	st.sampleCache[s.ID] = idx
+	return idx
+}
 
 func (st *trajectoryState) theta(s *sensornet.Sensor) float64 {
 	return (1 - s.Inaccuracy) * s.Trust
@@ -200,23 +322,46 @@ func (st *trajectoryState) Value() float64 {
 	return st.value(st.coveredCnt, st.sumTheta, st.n)
 }
 
-func (st *trajectoryState) Gain(s *sensornet.Sensor) float64 {
-	r2 := st.q.SensingRange * st.q.SensingRange
-	nc := 0
-	for i, c := range st.q.samples {
-		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
-			nc++
+// newlyCovered mirrors aggregateState.newlyCovered over sample points.
+func (st *trajectoryState) newlyCovered(s *sensornet.Sensor) int {
+	st.lookups++
+	if nc, ok := st.ncCache[s.ID]; ok {
+		st.hits++
+		return int(nc)
+	}
+	if st.sampleSensors == nil {
+		st.sampleSensors = make([][]int32, len(st.q.samples))
+	}
+	cnt := int32(0)
+	for _, i := range st.inRange(s) {
+		if !st.covered[i] {
+			cnt++
+			st.sampleSensors[i] = append(st.sampleSensors[i], int32(s.ID))
 		}
 	}
+	if st.ncCache == nil {
+		st.ncCache = make(map[int]int32)
+	}
+	st.ncCache[s.ID] = cnt
+	return int(cnt)
+}
+
+func (st *trajectoryState) Gain(s *sensornet.Sensor) float64 {
+	nc := st.newlyCovered(s)
 	return st.value(st.coveredCnt+nc, st.sumTheta+st.theta(s), st.n+1) - st.Value()
 }
 
 func (st *trajectoryState) Add(s *sensornet.Sensor) {
-	r2 := st.q.SensingRange * st.q.SensingRange
-	for i, c := range st.q.samples {
-		if !st.covered[i] && c.Dist2(s.Pos) <= r2 {
+	for _, i := range st.inRange(s) {
+		if !st.covered[i] {
 			st.covered[i] = true
 			st.coveredCnt++
+			if st.sampleSensors != nil {
+				for _, sid := range st.sampleSensors[i] {
+					st.ncCache[int(sid)]--
+				}
+				st.sampleSensors[i] = nil
+			}
 		}
 	}
 	st.sumTheta += st.theta(s)

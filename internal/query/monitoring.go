@@ -274,6 +274,13 @@ type RegionMonitoring struct {
 	Thetas    []float64
 	Spent     float64
 	inited    bool
+
+	// basePost caches the posterior conditioned on ObsPoints[:baseObs],
+	// so each slot's planning appends only the observations recorded
+	// since the previous slot instead of replaying the whole history.
+	// Invalidated by ResetIfNeeded and by factorization degradation.
+	basePost *gp.Posterior
+	baseObs  int
 }
 
 // NewRegionMonitoring builds a region monitoring query.
@@ -356,7 +363,40 @@ func (q *RegionMonitoring) ResetIfNeeded(t int) {
 		q.Thetas = nil
 		q.Spent = 0
 		q.inited = true
+		q.basePost = nil
+		q.baseObs = 0
 	}
+}
+
+// BasePosterior returns the GP posterior over Targets() conditioned on
+// all of ObsPoints, reusing the cached factorization from the previous
+// slot: only observations recorded since the last call are appended
+// (rank-1 updates, O(m·|targets|) each) instead of replaying the whole
+// history (O(m²·|targets|) total). Because gp.Posterior.Add is a pure
+// append — row m of the Cholesky factor depends only on rows 0..m-1 and
+// the new point — the incremental result is bit-identical to a
+// from-scratch build over the same ObsPoints sequence. When the cached
+// factorization reports Degraded (an ill-conditioned row that would
+// amplify rounding in later appends), the cache falls back to an exact
+// from-scratch recompute and stays on that path until reset.
+//
+// The returned posterior is owned by the query: callers must Clone it
+// before calling Add. appended and rebuilt report how many observations
+// were rank-1-appended vs replayed by a from-scratch rebuild, for
+// SelectionStats.
+func (q *RegionMonitoring) BasePosterior() (base *gp.Posterior, appended, rebuilt int64) {
+	if q.basePost == nil || q.baseObs > len(q.ObsPoints) || q.basePost.Degraded() {
+		q.basePost = q.Model.NewPosterior(q.targets)
+		q.baseObs = 0
+		rebuilt = int64(len(q.ObsPoints))
+	} else {
+		appended = int64(len(q.ObsPoints) - q.baseObs)
+	}
+	for _, p := range q.ObsPoints[q.baseObs:] {
+		q.basePost.Add(p)
+	}
+	q.baseObs = len(q.ObsPoints)
+	return q.basePost, appended, rebuilt
 }
 
 // Record adds an obtained observation.

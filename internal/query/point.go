@@ -56,6 +56,21 @@ func (p *Point) Relevant(s *sensornet.Sensor) bool {
 	return p.ValueSingle(s) > 0
 }
 
+// RelevantBase implements RelevanceBased: the relevance test evaluates
+// v_q(s) (Eq. 3), which is exactly the pointState base value.
+func (p *Point) RelevantBase(s *sensornet.Sensor) (bool, float64) {
+	v := p.ValueSingle(s)
+	return v > 0, v
+}
+
+// RelevanceFootprint implements Footprinted: quality (Eq. 4) is zero for
+// sensors farther than DMax from the query location, so the footprint is
+// the DMax box around Loc.
+func (p *Point) RelevanceFootprint() geo.Rect {
+	return geo.Rect{MinX: p.Loc.X - p.DMax, MinY: p.Loc.Y - p.DMax,
+		MaxX: p.Loc.X + p.DMax, MaxY: p.Loc.Y + p.DMax}
+}
+
 // NewState implements Query. As a set valuation a point query is worth the
 // best of its sensors: v_q(S) = max_{s in S} v_q(s).
 func (p *Point) NewState() State { return &pointState{q: p} }
@@ -74,9 +89,17 @@ func (st *pointState) Query() Query   { return st.q }
 func (st *pointState) Value() float64 { return st.best }
 
 func (st *pointState) Gain(s *sensornet.Sensor) float64 {
-	v := st.q.ValueSingle(s)
-	return v - st.best
+	return st.GainFrom(st.BaseValue(s))
 }
+
+// BaseValue implements PairCached: v_q(s) depends only on the fixed
+// sensor attributes and the query location, never on the selection state.
+func (st *pointState) BaseValue(s *sensornet.Sensor) float64 {
+	return st.q.ValueSingle(s)
+}
+
+// GainFrom implements PairCached.
+func (st *pointState) GainFrom(v float64) float64 { return v - st.best }
 
 func (st *pointState) Add(s *sensornet.Sensor) {
 	if v := st.q.ValueSingle(s); v > st.best {
@@ -120,6 +143,23 @@ func (m *MultiPoint) Relevant(s *sensornet.Sensor) bool {
 	return s.Quality(m.Loc, m.DMax) >= m.ThetaMin
 }
 
+// RelevantBase implements RelevanceBased: the relevance threshold test
+// computes the thresholded quality that is the multiPointState base.
+func (m *MultiPoint) RelevantBase(s *sensornet.Sensor) (bool, float64) {
+	t := s.Quality(m.Loc, m.DMax)
+	if t < m.ThetaMin {
+		return false, 0
+	}
+	return true, t
+}
+
+// RelevanceFootprint implements Footprinted: quality is zero beyond DMax
+// of the query location.
+func (m *MultiPoint) RelevanceFootprint() geo.Rect {
+	return geo.Rect{MinX: m.Loc.X - m.DMax, MinY: m.Loc.Y - m.DMax,
+		MaxX: m.Loc.X + m.DMax, MaxY: m.Loc.Y + m.DMax}
+}
+
 // NewState implements Query.
 func (m *MultiPoint) NewState() State {
 	return &multiPointState{q: m, top: make([]float64, 0, m.K)}
@@ -154,7 +194,17 @@ func (st *multiPointState) theta(s *sensornet.Sensor) float64 {
 }
 
 func (st *multiPointState) Gain(s *sensornet.Sensor) float64 {
-	t := st.theta(s)
+	return st.GainFrom(st.BaseValue(s))
+}
+
+// BaseValue implements PairCached: the thresholded reading quality is a
+// pure function of the sensor and the query.
+func (st *multiPointState) BaseValue(s *sensornet.Sensor) float64 {
+	return st.theta(s)
+}
+
+// GainFrom implements PairCached.
+func (st *multiPointState) GainFrom(t float64) float64 {
 	if t == 0 {
 		return 0
 	}

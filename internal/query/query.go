@@ -16,6 +16,7 @@
 package query
 
 import (
+	"repro/internal/geo"
 	"repro/internal/sensornet"
 )
 
@@ -70,6 +71,78 @@ type Submodular interface {
 func IsSubmodular(q Query) bool {
 	m, ok := q.(Submodular)
 	return ok && m.SubmodularValuation()
+}
+
+// Footprinted is an optional interface for queries whose spatial
+// prefilter is confined to a rectangle: RelevanceFootprint returns a rect
+// R such that Relevant(s) implies s.Pos ∈ R. The selection layer uses the
+// footprint to bucket queries in a grid index and skip Relevant calls for
+// sensors outside the rect, so the contract must be truthful — a rect
+// that is too small silently drops relevant (sensor, query) pairs from
+// selection. A too-large rect only costs extra Relevant calls.
+type Footprinted interface {
+	// RelevanceFootprint returns a closed rectangle containing every
+	// sensor position the query could consider relevant.
+	RelevanceFootprint() geo.Rect
+}
+
+// Footprint returns the query's relevance footprint and whether it
+// advertises one.
+func Footprint(q Query) (geo.Rect, bool) {
+	f, ok := q.(Footprinted)
+	if !ok {
+		return geo.Rect{}, false
+	}
+	return f.RelevanceFootprint(), true
+}
+
+// GeomCached is an optional interface for valuation states that memoize
+// per-sensor footprint geometry (e.g. which coverage cells a sensor's
+// sensing disk reaches). The counters feed SelectionStats so BENCH runs
+// can report cache effectiveness. Hits ≤ lookups; both are monotone over
+// the state's lifetime.
+type GeomCached interface {
+	// GeomCacheStats returns cumulative (hits, lookups) of the state's
+	// geometry cache.
+	GeomCacheStats() (hits, lookups int64)
+}
+
+// PairCached is an optional interface for valuation states whose marginal
+// gain factors into a state-independent per-sensor base value and a cheap
+// state-dependent combination:
+//
+//	Gain(s) == GainFrom(BaseValue(s))   bit-for-bit, at every state.
+//
+// The greedy core memoizes BaseValue once per (sensor, query) pair and
+// re-evaluates stale gains through GainFrom alone, eliminating the
+// distance/quality math from every re-evaluation after a query's state
+// changes. The equality above is a hard contract — the selection caches
+// gains computed both ways interchangeably, and the strategy-equivalence
+// tests compare results to the last float bit — so GainFrom must perform
+// exactly the operations Gain performs after its base value is known
+// (same order, same intermediate precision), and BaseValue must not read
+// anything that changes as sensors commit.
+type PairCached interface {
+	// BaseValue returns the state-independent part of the sensor's
+	// marginal gain.
+	BaseValue(s *sensornet.Sensor) float64
+	// GainFrom combines a (possibly memoized) base value with the current
+	// state into the marginal gain.
+	GainFrom(base float64) float64
+}
+
+// RelevanceBased is an optional interface for queries whose Relevant
+// test computes their states' PairCached base value as a byproduct (a
+// point query's relevance check *is* its valuation, Eq. 3). The
+// selection layer then seeds the per-pair base cache while building the
+// relevance index instead of recomputing the same distance/quality math
+// on the pair's first gain evaluation. The contract is exact:
+// RelevantBase(s) must return (Relevant(s), st.BaseValue(s)) bit-for-bit
+// for every state st of the query.
+type RelevanceBased interface {
+	// RelevantBase reports relevance and, when relevant, the PairCached
+	// base value of sensor s (unspecified when not relevant).
+	RelevantBase(s *sensornet.Sensor) (bool, float64)
 }
 
 // Value evaluates a query's valuation on an arbitrary sensor set by

@@ -2,9 +2,11 @@ package ps
 
 import (
 	"math"
+	"runtime"
 	"slices"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -34,6 +36,16 @@ type ShardStats struct {
 	SensorsUsed int
 	// Welfare is the shard's social-welfare contribution.
 	Welfare float64
+	// SelectMs is the wall time of the lane's selection pass, in
+	// milliseconds (accumulated across slots in running totals). Lanes
+	// execute concurrently, so the slot's shard_select stage tracks the
+	// slowest lane on machines with a core per lane and the *sum* of the
+	// lanes when they time-slice one core; recording both lets consumers
+	// separate algorithmic cost from scheduling. When GOMAXPROCS is 1 the
+	// lanes run sequentially (the outcome is identical — they share no
+	// mutable state — and goroutine interleaving would otherwise inflate
+	// every lane's measured wall time).
+	SelectMs float64
 	// Selection instruments the shard's greedy pass.
 	Selection SelectionStats
 }
@@ -44,6 +56,7 @@ func (s *ShardStats) accumulate(o ShardStats) {
 	s.Queries += o.Queries
 	s.SensorsUsed += o.SensorsUsed
 	s.Welfare += o.Welfare
+	s.SelectMs += o.SelectMs
 	s.Selection.Accumulate(o.Selection)
 }
 
@@ -119,6 +132,15 @@ type ShardedAggregator struct {
 	// stats accumulates the per-shard breakdown across slots; index
 	// len(shards) is the spanning pass.
 	stats []ShardStats
+
+	// Per-slot routing scratch, reused across RunSlot calls: at metro
+	// scale rebuilding these every slot re-allocates tens of thousands of
+	// entries per lane. Nothing downstream retains the slices past the
+	// slot (executeSlot copies what it keeps), so reuse is safe.
+	partsBuf    [][]core.Offer
+	gidxBuf     [][]int
+	takenBuf    map[int]bool
+	residualBuf []core.Offer
 }
 
 // NewShardedAggregator builds a sharded execution layer over a world with
@@ -138,9 +160,16 @@ func NewShardedAggregator(world *World, shards int, opts ...Option) *ShardedAggr
 	// pipeline (see the type comment): the baseline pipeline records no
 	// selection trace, so honoring WithBaselinePipeline here would make
 	// the reconciliation replay commit nothing while payments were still
-	// booked. Override it rather than corrupt results.
+	// booked. Override it rather than corrupt results. Lanes left on
+	// StrategyAuto default to lazy-greedy: every strategy is bit-identical
+	// (the strategy-equivalence tests gate this), and CELF-style pruning
+	// is what keeps metro-scale lanes under the slot latency budget. An
+	// explicit WithGreedyStrategy/SetShardStrategy still wins.
 	for _, a := range append(slices.Clone(sa.shards), sa.span) {
 		a.baseline = false
+		if a.greedy.Strategy == core.StrategyAuto {
+			a.greedy.Strategy = core.StrategyLazy
+		}
 	}
 	sa.stats = make([]ShardStats, n+1)
 	for k := range sa.stats {
@@ -275,8 +304,16 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 	tr.Mark(StageOfferGather)
 
 	// Route offers: each sensor belongs to exactly one shard.
-	parts := make([][]core.Offer, len(sa.shards))
-	gidx := make([][]int, len(sa.shards)) // local offer index -> global
+	if sa.partsBuf == nil {
+		sa.partsBuf = make([][]core.Offer, len(sa.shards))
+		sa.gidxBuf = make([][]int, len(sa.shards))
+	}
+	parts := sa.partsBuf
+	gidx := sa.gidxBuf // local offer index -> global
+	for k := range parts {
+		parts[k] = parts[k][:0]
+		gidx[k] = gidx[k][:0]
+	}
 	for i, o := range offers {
 		k := sa.part.ShardOf(o.Sensor.Pos)
 		parts[k] = append(parts[k], o)
@@ -286,40 +323,64 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 
 	// Per-shard passes run concurrently: lanes share only read-only world
 	// state (sensor positions, the phenomenon field, GP model), and each
-	// continuous query is owned by exactly one lane.
+	// continuous query is owned by exactly one lane. Each lane times its
+	// own pass (ShardStats.SelectMs); on a single-core runner the lanes
+	// execute sequentially instead, which is behaviorally identical and
+	// keeps those timings free of goroutine time-slicing.
 	execs := make([]*slotExec, len(sa.shards))
-	var wg sync.WaitGroup
-	for k := range sa.shards {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			execs[k] = sa.shards[k].executeSlot(t, parts[k], true)
-		}(k)
+	laneMs := make([]float64, len(sa.shards))
+	runLane := func(k int) {
+		laneStart := time.Now()
+		execs[k] = sa.shards[k].executeSlot(t, parts[k], true)
+		laneMs[k] = float64(time.Since(laneStart).Nanoseconds()) / 1e6
 	}
-	wg.Wait()
+	if runtime.GOMAXPROCS(0) == 1 {
+		for k := range sa.shards {
+			runLane(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := range sa.shards {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				runLane(k)
+			}(k)
+		}
+		wg.Wait()
+	}
 	tr.Mark(StageShardSelect)
 
 	// Spanning pass: cross-shard queries compete for the residual supply,
 	// the offers no shard selected.
 	var spanExec *slotExec
+	var spanMs float64
 	if sa.span.pendingWork(t) {
-		taken := make(map[int]bool)
+		if sa.takenBuf == nil {
+			sa.takenBuf = make(map[int]bool)
+		} else {
+			clear(sa.takenBuf)
+		}
+		taken := sa.takenBuf
 		for _, ex := range execs {
 			for _, s := range ex.selected {
 				taken[s.ID] = true
 			}
 		}
-		var residual []core.Offer
+		residual := sa.residualBuf[:0]
 		for _, o := range offers {
 			if !taken[o.Sensor.ID] {
 				residual = append(residual, o)
 			}
 		}
+		sa.residualBuf = residual
+		spanStart := time.Now()
 		spanExec = sa.span.executeSlot(t, residual, true)
+		spanMs = float64(time.Since(spanStart).Nanoseconds()) / 1e6
 	}
 	tr.Mark(StageSpanning)
 
-	rep, selected := sa.reconcile(t, len(offers), parts, execs, gidx, spanExec)
+	rep, selected := sa.reconcile(t, len(offers), parts, execs, gidx, spanExec, laneMs, spanMs)
 	tr.Mark(StageReconcile)
 
 	// Data acquisition and accounting (stage 5 of Algorithm 5), once over
@@ -364,7 +425,7 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 //   - Per-type values are re-summed over the queries in global submission
 //     order (the order registry), the order the unsharded pipeline's
 //     accounting loops iterate in.
-func (sa *ShardedAggregator) reconcile(t, offers int, parts [][]core.Offer, execs []*slotExec, gidx [][]int, spanExec *slotExec) (*SlotReport, []*sensornet.Sensor) {
+func (sa *ShardedAggregator) reconcile(t, offers int, parts [][]core.Offer, execs []*slotExec, gidx [][]int, spanExec *slotExec, laneMs []float64, spanMs float64) (*SlotReport, []*sensornet.Sensor) {
 	rep := &SlotReport{
 		Slot:     t,
 		Offers:   offers,
@@ -461,7 +522,7 @@ func (sa *ShardedAggregator) reconcile(t, offers int, parts [][]core.Offer, exec
 
 	// Per-query outcome maps are disjoint across lanes (every query lives
 	// in exactly one), so the merge is a union.
-	mergeLane := func(ex *slotExec, shard int, spanning bool, laneOffers int) {
+	mergeLane := func(ex *slotExec, shard int, spanning bool, laneOffers int, selectMs float64) {
 		for id, v := range ex.report.values {
 			rep.values[id] = v
 		}
@@ -480,14 +541,15 @@ func (sa *ShardedAggregator) reconcile(t, offers int, parts [][]core.Offer, exec
 			Queries:     ex.queries,
 			SensorsUsed: len(ex.selected),
 			Welfare:     ex.report.Welfare,
+			SelectMs:    selectMs,
 			Selection:   ex.report.Selection,
 		})
 	}
 	for k, ex := range execs {
-		mergeLane(ex, k, false, len(parts[k]))
+		mergeLane(ex, k, false, len(parts[k]), laneMs[k])
 	}
 	if spanExec != nil {
-		mergeLane(spanExec, -1, true, spanExec.report.Offers)
+		mergeLane(spanExec, -1, true, spanExec.report.Offers, spanMs)
 	} else {
 		rep.Shards = append(rep.Shards, ShardStats{Shard: -1, Spanning: true})
 	}

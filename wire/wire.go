@@ -369,6 +369,13 @@ type Metrics struct {
 	LazyReevaluations       int64  `json:"lazy_reevaluations"`
 	SubmodularityViolations int64  `json:"submodularity_violations"`
 	FallbackRescans         int64  `json:"fallback_rescans"`
+	// Valuation-cache instrumentation: footprint-geometry cache probes
+	// and GP base-posterior observation accounting (rank-1 appends vs
+	// exact from-scratch rebuilds).
+	GeomCacheHits     int64 `json:"geom_cache_hits"`
+	GeomCacheLookups  int64 `json:"geom_cache_lookups"`
+	PosteriorAppends  int64 `json:"posterior_appends"`
+	PosteriorRebuilds int64 `json:"posterior_rebuilds"`
 	// Shards is the cumulative per-shard breakdown of a geo-sharded
 	// engine (the entry with "spanning":true is the cross-shard pass);
 	// absent on an unsharded engine.
@@ -397,11 +404,16 @@ type ShardMetrics struct {
 	Queries                 int     `json:"queries"`
 	SensorsUsed             int     `json:"sensors_used"`
 	Welfare                 float64 `json:"welfare"`
+	SelectMs                float64 `json:"select_ms"`
 	ValuationCalls          int64   `json:"valuation_calls"`
 	ValuationCallsSaved     int64   `json:"valuation_calls_saved"`
 	LazyReevaluations       int64   `json:"lazy_reevaluations"`
 	SubmodularityViolations int64   `json:"submodularity_violations"`
 	FallbackRescans         int64   `json:"fallback_rescans"`
+	GeomCacheHits           int64   `json:"geom_cache_hits"`
+	GeomCacheLookups        int64   `json:"geom_cache_lookups"`
+	PosteriorAppends        int64   `json:"posterior_appends"`
+	PosteriorRebuilds       int64   `json:"posterior_rebuilds"`
 }
 
 // MetricsFrom converts an engine metrics snapshot to its wire form.
@@ -428,11 +440,16 @@ func MetricsFrom(m ps.EngineMetrics, configured string) Metrics {
 			Queries:                 s.Queries,
 			SensorsUsed:             s.SensorsUsed,
 			Welfare:                 s.Welfare,
+			SelectMs:                s.SelectMs,
 			ValuationCalls:          s.Selection.ValuationCalls,
 			ValuationCallsSaved:     s.Selection.SavedCalls(),
 			LazyReevaluations:       s.Selection.LazyReevaluations,
 			SubmodularityViolations: s.Selection.SubmodularityViolations,
 			FallbackRescans:         s.Selection.FallbackRescans,
+			GeomCacheHits:           s.Selection.GeomCacheHits,
+			GeomCacheLookups:        s.Selection.GeomCacheLookups,
+			PosteriorAppends:        s.Selection.PosteriorAppends,
+			PosteriorRebuilds:       s.Selection.PosteriorRebuilds,
 		})
 	}
 	return Metrics{
@@ -466,6 +483,10 @@ func MetricsFrom(m ps.EngineMetrics, configured string) Metrics {
 		LazyReevaluations:       m.LazyReevaluations,
 		SubmodularityViolations: m.SubmodularityViolations,
 		FallbackRescans:         m.FallbackRescans,
+		GeomCacheHits:           m.GeomCacheHits,
+		GeomCacheLookups:        m.GeomCacheLookups,
+		PosteriorAppends:        m.PosteriorAppends,
+		PosteriorRebuilds:       m.PosteriorRebuilds,
 	}
 }
 
