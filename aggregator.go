@@ -2,6 +2,7 @@ package ps
 
 import (
 	"iter"
+	"maps"
 	"slices"
 	"strings"
 
@@ -478,7 +479,11 @@ func (a *Aggregator) executeSlot(t int, offers []core.Offer, forceMix bool) *slo
 		}
 
 		// Evaluate region-event probes: readings plus achieved coverage.
-		for pid, e := range regProbes {
+		// Sorted probe order: several probes can project onto one parent
+		// query ID, so the += below must run in a reproducible order for
+		// SlotReports to stay bit-identical across strategies (floatorder).
+		for _, pid := range slices.Sorted(maps.Keys(regProbes)) {
+			e := regProbes[pid]
 			out := res.Multi.Outcomes[pid]
 			if out == nil || len(out.Sensors) == 0 {
 				continue
@@ -505,8 +510,10 @@ func (a *Aggregator) executeSlot(t int, offers []core.Offer, forceMix bool) *slo
 			})
 		}
 
-		// Evaluate event probes on the acquired readings.
-		for pid, e := range probes {
+		// Evaluate event probes on the acquired readings. Sorted for the
+		// same reason as the region-event loop above.
+		for _, pid := range slices.Sorted(maps.Keys(probes)) {
+			e := probes[pid]
 			out := res.Multi.Outcomes[pid]
 			if out == nil || len(out.Sensors) == 0 {
 				continue

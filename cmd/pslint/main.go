@@ -1,0 +1,94 @@
+// Command pslint is the repo's determinism linter: a multichecker that
+// runs the internal/analysis/passes analyzers over the packages matching
+// its arguments and exits nonzero on any finding. CI runs it over ./...
+// before the bench job, so an invariant violation — a float sum in
+// map-iteration order, a wall-clock read in the slot path, a
+// non-exhaustive Spec or QueryKind switch, a malformed metric name, or a
+// sentinel missing from wire's error-code table — fails the build before
+// any golden gate can be probabilistically lucky.
+//
+// Usage:
+//
+//	go run ./cmd/pslint ./...
+//	go run ./cmd/pslint -only floatorder,wallclock ./internal/core
+//
+// Findings print as file:line:col: analyzer: message. A finding is
+// suppressed by `//pslint:ignore <analyzer> <reason>` on the flagged
+// line or the line above; unused or malformed directives are themselves
+// findings. Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pslint [-only a,b] [-list] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := passes.All()
+	// Directives may name any analyzer in the suite, even one excluded
+	// by -only — otherwise a filtered run would misreport them as typos.
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pslint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	diags, fset, err := analysis.RunPatterns(flag.Args(), analyzers, known)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+		os.Exit(2)
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pslint: %d findings\n", len(diags))
+		os.Exit(1)
+	}
+}

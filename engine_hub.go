@@ -3,6 +3,8 @@ package ps
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sync"
 	"time"
 )
@@ -418,7 +420,12 @@ func (h *hub) closeAll(cause error, at time.Time) {
 func (h *hub) publishSlot(rep *SlotReport, events map[string][]EventNotification, at time.Time) (st slotDelivery) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for id, t := range h.topics {
+	// Sorted query order: st.payments is a float sum that feeds
+	// EngineMetrics.TotalPayments, so fan-out iterates a reproducible
+	// order (floatorder) — which also makes per-slot delivery order
+	// deterministic for free.
+	for _, id := range slices.Sorted(maps.Keys(h.topics)) {
+		t := h.topics[id]
 		res := SlotResult{
 			Slot:     rep.Slot,
 			Answered: rep.Answered(id),

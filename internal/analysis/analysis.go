@@ -1,0 +1,140 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer runs over one
+// type-checked package (a Pass) and reports Diagnostics. The repo's
+// custom analyzers (internal/analysis/passes) statically enforce the
+// determinism invariants that the runtime golden-equivalence tests can
+// only catch probabilistically — float accumulation in map-iteration
+// order, wall-clock reads in the slot path, non-exhaustive switches over
+// the sealed Spec interface, invalid metric names, and ps sentinels
+// missing from the wire ErrorCode table.
+//
+// The module is deliberately dependency-free (no go.sum), so this
+// package mirrors the x/tools API shape on the standard library alone:
+// go/parser + go/types with the "source" importer resolve the whole
+// module, and `go list -json` (shelled out, exactly as go/packages does)
+// enumerates build units. If the module ever grows a vendored x/tools,
+// the analyzers port over mechanically: Analyzer, Pass and Diagnostic
+// carry the same meaning here as there.
+//
+// Suppression: a diagnostic is silenced by a directive comment
+//
+//	//pslint:ignore <analyzer> <reason>
+//
+// on the flagged line or on the line immediately above it. The reason is
+// mandatory, and directives that silence nothing are themselves reported
+// (see ignore.go) so stale annotations cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package via the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pslint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check. A returned error aborts the whole run
+	// (analyzer bug or unloadable input), it is not a finding.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the parsed source files of the package, test files
+	// included (the determinism audit covers golden tests too).
+	Files []*ast.File
+	// Pkg is the type-checked package. Its Path is the import path the
+	// loader assigned — analyzers scope themselves by it.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's facts for Files.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// surviving diagnostics: findings not silenced by a //pslint:ignore
+// directive, plus one diagnostic (analyzer "pslint") for every malformed
+// or unused directive in the package. This is the single entry point
+// shared by the cmd/pslint driver and the analysistest harness, so
+// suppression behaves identically under test and in CI.
+//
+// known is the set of analyzer names directives may legally reference —
+// the full suite, not just the analyzers running now, so that a
+// directive for an analyzer excluded by -only (or by a single-analyzer
+// test) is not misreported as a typo. Nil defaults to the names of the
+// analyzers being run.
+func Run(pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	if known == nil {
+		known = make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+	}
+	ig := parseIgnores(pkg.Fset, pkg.Files, known)
+	diags := ig.filter(pkg.Fset, raw)
+	diags = append(diags, ig.problems()...)
+	SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the order cmd/pslint prints and analysistest compares in.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

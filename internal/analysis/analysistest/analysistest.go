@@ -1,0 +1,118 @@
+// Package analysistest runs one pslint analyzer over a directory of
+// fixture files and checks its diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library alone.
+//
+// A fixture directory is loaded as a single package under a caller-
+// chosen import path — that is how fixtures land inside (or outside)
+// the deterministic-package scope the analyzers key on. Every line may
+// carry one or more expectations:
+//
+//	sum += v // want "float \\+= accumulation"
+//
+// Each expectation must match exactly one diagnostic reported on its
+// line (analyzer message matched as an unanchored regexp), and every
+// diagnostic must be claimed by an expectation. Diagnostics flow
+// through analysis.Run, so //pslint:ignore suppression and the
+// unused/malformed-directive findings behave exactly as under
+// cmd/pslint.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes"
+)
+
+// wantRE matches the expectation list of a comment: the word "want"
+// followed by one or more double-quoted regexps.
+var wantRE = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+// quotedRE picks the individual quoted regexps out of wantRE's capture.
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads dir as one package under pkgPath, applies the analyzer, and
+// reports any mismatch between its diagnostics and the fixture's
+// // want expectations as test errors.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.NewLoader().LoadDir(pkgPath, dir)
+	if err != nil {
+		t.Fatalf("loading %s as %s: %v", dir, pkgPath, err)
+	}
+	// Directives are validated against the full suite, exactly as under
+	// cmd/pslint — a fixture directive naming a sibling analyzer is
+	// "unused" here, not "unknown".
+	known := map[string]bool{}
+	for _, suite := range passes.All() {
+		known[suite.Name] = true
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a}, known)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	expected := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					// Unquote first: `\\+` in the fixture comment is the
+					// regexp `\+`, exactly as it would read in a string
+					// literal.
+					unquoted, err := strconv.Unquote(q[0])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q[0], err)
+					}
+					re, err := regexp.Compile(unquoted)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unquoted, err)
+					}
+					expected[k] = append(expected[k], re)
+				}
+			}
+		}
+	}
+
+	unmatched := map[key][]string{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		msg := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		claimed := false
+		for i, re := range expected[k] {
+			if re.MatchString(msg) {
+				expected[k] = append(expected[k][:i], expected[k][i+1:]...)
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			unmatched[k] = append(unmatched[k], msg)
+		}
+	}
+	for k, msgs := range unmatched {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+	for k, res := range expected {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}

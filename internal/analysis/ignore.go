@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //pslint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Pos // of the comment
+	line     int       // line the comment sits on
+	file     string
+	analyzer string
+	reason   string
+	bad      string // non-empty if malformed (the problem description)
+	used     bool
+}
+
+// ignoreSet holds every directive of one package, indexed for the
+// same-line / previous-line lookup filter applies.
+type ignoreSet struct {
+	byLoc map[string]map[int][]*ignoreDirective // file -> line -> directives
+	all   []*ignoreDirective
+}
+
+const ignorePrefix = "pslint:ignore"
+
+// parseIgnores extracts //pslint:ignore directives from every comment in
+// the files. Directives must name a known analyzer and give a non-empty
+// reason; anything else is recorded as malformed and surfaces as a
+// diagnostic from problems(). Text after a second "//" on the directive
+// line is dropped, so fixtures can carry trailing `// want` expectations.
+func parseIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) *ignoreSet {
+	set := &ignoreSet{byLoc: map[string]map[int][]*ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{pos: c.Pos(), line: pos.Line, file: pos.Filename}
+				name, reason, _ := strings.Cut(rest, " ")
+				d.analyzer, d.reason = name, strings.TrimSpace(reason)
+				switch {
+				case d.analyzer == "":
+					d.bad = "missing analyzer name"
+				case !known[d.analyzer]:
+					d.bad = "unknown analyzer " + d.analyzer
+				case d.reason == "":
+					d.bad = "missing reason (syntax: //pslint:ignore <analyzer> <reason>)"
+				}
+				byLine, ok := set.byLoc[d.file]
+				if !ok {
+					byLine = map[int][]*ignoreDirective{}
+					set.byLoc[d.file] = byLine
+				}
+				byLine[d.line] = append(byLine[d.line], d)
+				set.all = append(set.all, d)
+			}
+		}
+	}
+	return set
+}
+
+// filter drops diagnostics silenced by a well-formed directive for the
+// same analyzer on the diagnostic's line or the line immediately above,
+// marking those directives used.
+func (s *ignoreSet) filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			for _, dir := range s.byLoc[pos.Filename][line] {
+				if dir.bad == "" && dir.analyzer == d.Analyzer {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// problems reports malformed directives and well-formed directives that
+// silenced nothing, as diagnostics from the pseudo-analyzer "pslint".
+// An unused ignore means the invariant it excused is gone — the
+// annotation must go too, or it will silently excuse a future violation.
+func (s *ignoreSet) problems() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		switch {
+		case d.bad != "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "pslint", Message: "malformed pslint:ignore directive: " + d.bad})
+		case !d.used:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "pslint", Message: "unused pslint:ignore directive for " + d.analyzer})
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked build unit.
+type Package struct {
+	// Path is the import path the unit was checked under. Analyzers
+	// scope themselves by it (see passes.DeterministicPkgs).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages. All packages loaded through
+// one Loader share a FileSet and an importer, so cross-package type
+// identities (e.g. the ps.Spec interface seen from wire) are consistent
+// within a load and imported packages are type-checked at most once.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader backed by the standard library's source
+// importer, which resolves both intra-module and stdlib imports by
+// type-checking them from source (the module has no external deps, so
+// that closure is complete).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadFiles parses the named files and type-checks them as one package
+// under the given import path. The path is the caller's claim, not a
+// resolved location — the analysistest harness uses that to check
+// fixtures under the package paths the analyzers scope by.
+func (l *Loader) LoadFiles(pkgPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no files for %s", pkgPath)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadDir loads every .go file in dir (sorted by name, including files
+// with a _test.go suffix — fixtures exercise the test-file allowlists)
+// as one package under pkgPath.
+func (l *Loader) LoadDir(pkgPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	return l.LoadFiles(pkgPath, filenames)
+}
+
+// listedPackage is the subset of `go list -json` output the driver
+// needs to assemble build units.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Incomplete   bool
+}
+
+// goList shells out to `go list -json` for the patterns, exactly as
+// go/packages does, returning one entry per matched package.
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// RunPatterns loads every package matching the go-list patterns and runs
+// the analyzers over each, returning all surviving diagnostics in
+// position order. Each listed package contributes up to two units: its
+// Go files plus in-package test files (checked under the import path),
+// and the external test package when present (checked under path+"_test").
+// Test files are included deliberately — the floatorder invariant covers
+// golden-test expectation building, which is how PR 3's map-order float
+// bug originally slipped in. known is the full directive-name set passed
+// through to Run.
+func RunPatterns(patterns []string, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, *token.FileSet, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := NewLoader()
+	var all []Diagnostic
+	for _, lp := range listed {
+		if lp.Incomplete {
+			return nil, nil, fmt.Errorf("analysis: package %s did not load cleanly", lp.ImportPath)
+		}
+		units := []struct {
+			path  string
+			files []string
+		}{
+			{lp.ImportPath, join(lp.Dir, lp.GoFiles, lp.TestGoFiles)},
+			{lp.ImportPath + "_test", join(lp.Dir, lp.XTestGoFiles)},
+		}
+		for _, u := range units {
+			if len(u.files) == 0 {
+				continue
+			}
+			pkg, err := l.LoadFiles(u.path, u.files)
+			if err != nil {
+				return nil, nil, err
+			}
+			diags, err := Run(pkg, analyzers, known)
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	SortDiagnostics(l.fset, all)
+	return all, l.fset, nil
+}
+
+func join(dir string, lists ...[]string) []string {
+	var out []string
+	for _, list := range lists {
+		for _, f := range list {
+			out = append(out, filepath.Join(dir, f))
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package passes
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Errwire checks that wire's sentinel <-> ErrorCode table is a total
+// bijection: every exported ps.Err* sentinel declared in the root
+// package appears exactly once in wire's errorCodes table, and no code
+// string is reused. Today a reflection test (wire's parity test)
+// verifies this at test time; the analyzer catches a freshly declared
+// sentinel before the test even runs, so a new mechanism's validation
+// error cannot ship without a stable code psclient can reconstruct the
+// sentinel from. The table is located by its contractual name,
+// errorCodes — renaming it without updating the analyzer is itself a
+// finding, which keeps the check honest.
+var Errwire = &analysis.Analyzer{
+	Name: "errwire",
+	Doc:  "every ps.Err* sentinel must appear exactly once in wire's errorCodes table",
+	Run:  runErrwire,
+}
+
+const wirePkg = "repro/wire"
+
+func runErrwire(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != wirePkg {
+		return nil
+	}
+	root := findRootPkg(pass)
+	if root == nil {
+		return nil
+	}
+	sentinels := rootSentinels(root)
+	table := findErrorCodesTable(pass)
+	if table == nil {
+		pass.Reportf(pass.Files[0].Pos(),
+			"cannot find the errorCodes sentinel<->code table in package wire (renamed? update the errwire analyzer)")
+		return nil
+	}
+
+	inTable := map[string]int{}   // sentinel name -> occurrences
+	codeCount := map[string]int{} // code string -> occurrences
+	for _, elt := range table.Elts {
+		row, ok := elt.(*ast.CompositeLit)
+		if !ok || len(row.Elts) != 2 {
+			continue
+		}
+		if code, lit := constString(pass, row.Elts[0]); lit {
+			codeCount[code]++
+			if codeCount[code] == 2 {
+				pass.Reportf(row.Elts[0].Pos(), "error code %q appears more than once in errorCodes; the table must be a bijection", code)
+			}
+		}
+		ast.Inspect(row.Elts[1], func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok && v.Pkg() == root && sentinels[v.Name()] {
+				inTable[v.Name()]++
+				if inTable[v.Name()] == 2 {
+					pass.Reportf(n.Pos(), "sentinel ps.%s appears more than once in errorCodes; the table must be a bijection", v.Name())
+				}
+			}
+			return true
+		})
+	}
+
+	var missing []string
+	for name := range sentinels {
+		if inTable[name] == 0 {
+			missing = append(missing, "ps."+name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(table.Pos(),
+			"errorCodes is missing %s — every ps sentinel needs a stable wire code so errors.Is survives the network (add a Code* constant and a table row)",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// rootSentinels returns the names of every exported package-level Err*
+// variable of type error in the root package.
+func rootSentinels(root *types.Package) map[string]bool {
+	out := map[string]bool{}
+	errType := types.Universe.Lookup("error").Type()
+	for _, name := range root.Scope().Names() {
+		v, ok := root.Scope().Lookup(name).(*types.Var)
+		if !ok || !v.Exported() || !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		if types.AssignableTo(v.Type(), errType) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// findErrorCodesTable locates the composite literal initializing the
+// package-level errorCodes variable (non-test files only).
+func findErrorCodesTable(pass *analysis.Pass) *ast.CompositeLit {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == "errorCodes" && i < len(vs.Values) {
+						if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							return cl
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package passes
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Kindswitch enforces exhaustiveness over the two sealed query-kind
+// enumerations in every package (tests excluded):
+//
+//   - type switches over the sealed ps.Spec interface must name every
+//     implementation declared in the root package (directly, or via an
+//     interface case that covers it);
+//   - switches over a ps.QueryKind value must name every exported Kind*
+//     constant.
+//
+// A default arm does NOT excuse a missing case: defaults in this
+// codebase return runtime errors, and the whole point of the analyzer
+// is that adding a ninth query kind must break the build at wire/serve/
+// bench dispatch sites (e.g. wire.FromSpec), not fail at runtime after
+// the equivalence gates have already been invalidated. A switch that
+// deliberately handles a subset carries a //pslint:ignore kindswitch
+// directive with its justification.
+var Kindswitch = &analysis.Analyzer{
+	Name: "kindswitch",
+	Doc:  "exhaustiveness for type switches over ps.Spec and switches over ps.QueryKind",
+	Run:  runKindswitch,
+}
+
+func runKindswitch(pass *analysis.Pass) error {
+	root := findRootPkg(pass)
+	if root == nil {
+		return nil // package has no view of ps; nothing to switch over
+	}
+	iface := lookupSpecInterface(root)
+	impls := specImpls(root, iface)
+	kindType, kindConsts := queryKindConsts(root)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.TypeSwitchStmt:
+				checkSpecSwitch(pass, stmt, iface, impls)
+			case *ast.SwitchStmt:
+				checkKindSwitch(pass, stmt, kindType, kindConsts)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findRootPkg returns the root ps package as seen from this pass: the
+// pass's own package when analyzing the root, otherwise the direct
+// import (a package that switches over ps types necessarily imports ps).
+func findRootPkg(pass *analysis.Pass) *types.Package {
+	if strings.TrimSuffix(pass.Pkg.Path(), "_test") == rootPkg {
+		return pass.Pkg
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == rootPkg {
+			return imp
+		}
+	}
+	return nil
+}
+
+func lookupSpecInterface(root *types.Package) *types.Interface {
+	obj, ok := root.Scope().Lookup("Spec").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// specImpls enumerates the sealed implementations: concrete types
+// declared in the root package that satisfy Spec by value or pointer.
+func specImpls(root *types.Package, iface *types.Interface) map[string]types.Type {
+	impls := map[string]types.Type{}
+	if iface == nil {
+		return impls
+	}
+	for _, name := range root.Scope().Names() {
+		tn, ok := root.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			impls[name] = t
+		}
+	}
+	return impls
+}
+
+// checkSpecSwitch reports implementations missing from a type switch
+// whose operand is the sealed ps.Spec interface.
+func checkSpecSwitch(pass *analysis.Pass, stmt *ast.TypeSwitchStmt, iface *types.Interface, impls map[string]types.Type) {
+	if iface == nil || len(impls) == 0 {
+		return
+	}
+	var assert *ast.TypeAssertExpr
+	switch a := stmt.Assign.(type) {
+	case *ast.ExprStmt:
+		assert, _ = a.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			assert, _ = a.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if assert == nil {
+		return
+	}
+	if !isNamed(pass.TypesInfo.TypeOf(assert.X), rootPkg, "Spec") {
+		return
+	}
+	covered := map[string]bool{}
+	for _, clause := range stmt.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			t := pass.TypesInfo.TypeOf(expr)
+			if t == nil {
+				continue // the nil case
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if types.IsInterface(t) {
+				// An interface case (e.g. a future ContinuousSpec) covers
+				// every implementation that satisfies it.
+				ci, _ := t.Underlying().(*types.Interface)
+				for name, impl := range impls {
+					if ci != nil && (types.Implements(impl, ci) || types.Implements(types.NewPointer(impl), ci)) {
+						covered[name] = true
+					}
+				}
+				continue
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == rootPkg {
+				covered[n.Obj().Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for name := range impls {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(stmt.Pos(),
+			"type switch over the sealed ps.Spec interface is missing %s — a new query kind must be handled here, not left to a runtime default",
+			strings.Join(missing, ", "))
+	}
+}
+
+// queryKindConsts returns the QueryKind named type and its exported
+// constants in declaration-value order. Unexported sentinels (a
+// kindCount bound) are not required in switches.
+func queryKindConsts(root *types.Package) (types.Type, []*types.Const) {
+	tn, ok := root.Scope().Lookup("QueryKind").(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	var consts []*types.Const
+	for _, name := range root.Scope().Names() {
+		c, ok := root.Scope().Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), tn.Type()) {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		vi, _ := constant.Int64Val(consts[i].Val())
+		vj, _ := constant.Int64Val(consts[j].Val())
+		return vi < vj
+	})
+	return tn.Type(), consts
+}
+
+// checkKindSwitch reports exported QueryKind constants missing from a
+// switch over a QueryKind-typed tag.
+func checkKindSwitch(pass *analysis.Pass, stmt *ast.SwitchStmt, kindType types.Type, kindConsts []*types.Const) {
+	if stmt.Tag == nil || kindType == nil || len(kindConsts) == 0 {
+		return
+	}
+	if !isNamed(pass.TypesInfo.TypeOf(stmt.Tag), rootPkg, "QueryKind") {
+		return
+	}
+	covered := map[string]bool{}
+	for _, clause := range stmt.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			var id *ast.Ident
+			switch e := expr.(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				continue
+			}
+			if c, ok := pass.TypesInfo.ObjectOf(id).(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range kindConsts {
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(stmt.Pos(),
+			"switch over ps.QueryKind is missing %s — a new query kind must be handled here, not left to a runtime default",
+			strings.Join(missing, ", "))
+	}
+}
+
+// isNamed reports whether t is the named type pkgPath.typeName.
+func isNamed(t types.Type, pkgPath, typeName string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}

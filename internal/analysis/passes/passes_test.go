@@ -1,0 +1,56 @@
+package passes_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes"
+)
+
+// Each analyzer gets a failing fixture (positive cases prove the
+// analyzer fires) and negative cases (allowlisted packages/files,
+// order-independent shapes, exhaustive switches) in the same run — an
+// unexpected diagnostic fails the test just like a missed one.
+
+func TestFloatorderDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/floatorder/det", "repro/internal/core", passes.Floatorder)
+}
+
+func TestFloatorderOutOfScopePackage(t *testing.T) {
+	analysistest.Run(t, "testdata/floatorder/out", "repro/serve", passes.Floatorder)
+}
+
+func TestWallclockDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/wallclock/det", "repro/internal/gp", passes.Wallclock)
+}
+
+func TestWallclockEngineShellAllowlist(t *testing.T) {
+	analysistest.Run(t, "testdata/wallclock/engine", "repro", passes.Wallclock)
+}
+
+func TestKindswitchExhaustiveness(t *testing.T) {
+	analysistest.Run(t, "testdata/kindswitch/spec", "repro/cmd/psbench", passes.Kindswitch)
+}
+
+func TestObsnamesRegistryConstructors(t *testing.T) {
+	analysistest.Run(t, "testdata/obsnames/reg", "repro/serve", passes.Obsnames)
+}
+
+func TestErrwireMissingAndDuplicates(t *testing.T) {
+	analysistest.Run(t, "testdata/errwire/missing", "repro/wire", passes.Errwire)
+}
+
+func TestErrwireIgnoresOtherPackages(t *testing.T) {
+	analysistest.Run(t, "testdata/errwire/notwire", "repro/notwire", passes.Errwire)
+}
+
+func TestErrwireReportsMissingTable(t *testing.T) {
+	analysistest.Run(t, "testdata/errwire/notable", "repro/wire", passes.Errwire)
+}
+
+// TestIgnoreDirective proves //pslint:ignore suppresses on the flagged
+// line and the line above, and that unused, wrong-analyzer, reasonless
+// and unknown-analyzer directives are themselves findings.
+func TestIgnoreDirective(t *testing.T) {
+	analysistest.Run(t, "testdata/ignore/det", "repro/internal/core", passes.Floatorder)
+}

@@ -1,0 +1,22 @@
+// Package missing is the errwire fixture: an errorCodes table that
+// drops two sentinels and duplicates a code and a sentinel.
+package missing
+
+import ps "repro"
+
+var errorCodes = []struct { // want "errorCodes is missing ps.ErrCanceled, ps.ErrNoGPModel"
+	code string
+	err  error
+}{
+	{"empty_query_id", ps.ErrEmptyQueryID},
+	{"negative_budget", ps.ErrNegativeBudget},
+	{"bad_duration", ps.ErrBadDuration},
+	{"bad_trajectory", ps.ErrBadTrajectory},
+	{"negative_redundancy", ps.ErrNegativeRedundancy},
+	{"negative_samples", ps.ErrNegativeSamples},
+	{"queue_full", ps.ErrQueueFull},
+	{"queue_full", ps.ErrEngineStopped}, // want "error code \"queue_full\" appears more than once"
+	{"duplicate_query_id", ps.ErrDuplicateQueryID},
+	{"unknown_query", ps.ErrUnknownQuery},
+	{"unknown_query_again", ps.ErrUnknownQuery}, // want "sentinel ps.ErrUnknownQuery appears more than once"
+}

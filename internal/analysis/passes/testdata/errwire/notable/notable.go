@@ -1,0 +1,8 @@
+package notable // want "cannot find the errorCodes sentinel<->code table"
+
+import ps "repro"
+
+// The package is loaded as repro/wire but declares no errorCodes table
+// at all — the analyzer reports that rather than silently passing.
+
+var sentinel = ps.ErrCanceled

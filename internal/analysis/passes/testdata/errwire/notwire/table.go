@@ -1,0 +1,15 @@
+// Package notwire carries the same incomplete table as the missing
+// fixture but is loaded under a path other than repro/wire, so the
+// errwire analyzer ignores it.
+package notwire
+
+import ps "repro"
+
+var errorCodes = []struct {
+	code string
+	err  error
+}{
+	{"empty_query_id", ps.ErrEmptyQueryID},
+}
+
+var _ = errorCodes

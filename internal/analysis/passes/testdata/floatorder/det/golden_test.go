@@ -1,0 +1,12 @@
+package det
+
+// Test files are NOT exempt from floatorder: golden expectations built
+// in map order corrupt the equivalence gates from the expectation side.
+
+func expectedWelfare(m map[string]float64) float64 {
+	var want float64
+	for _, v := range m {
+		want += v // want "float \\+= accumulation in map-iteration order"
+	}
+	return want
+}

@@ -1,0 +1,12 @@
+// Package out is the floatorder negative fixture: identical code to the
+// det fixture, but loaded under repro/serve — outside the deterministic
+// package set — so nothing is flagged.
+package out
+
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,54 @@
+// Package det exercises the //pslint:ignore directive: suppression on
+// the same line and the preceding line, unused directives, and
+// malformed ones. Loaded under a deterministic path so floatorder has
+// something to suppress.
+package det
+
+func suppressedAbove(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//pslint:ignore floatorder reviewed: feeds a tolerance-compared assertion only
+		sum += v
+	}
+	return sum
+}
+
+func suppressedTrailing(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //pslint:ignore floatorder reviewed: ditto
+	}
+	return sum
+}
+
+func unusedDirective(x float64) float64 {
+	//pslint:ignore floatorder nothing to silence here // want "unused pslint:ignore directive for floatorder"
+	return x
+}
+
+func wrongAnalyzer(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//pslint:ignore wallclock wrong analyzer, does not silence floatorder // want "unused pslint:ignore directive for wallclock"
+		sum += v // want "float \\+= accumulation in map-iteration order"
+	}
+	return sum
+}
+
+func missingReason(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//pslint:ignore floatorder // want "malformed pslint:ignore directive: missing reason"
+		sum += v // want "float \\+= accumulation in map-iteration order"
+	}
+	return sum
+}
+
+func unknownAnalyzer(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//pslint:ignore nosuchcheck why not // want "malformed pslint:ignore directive: unknown analyzer nosuchcheck"
+		sum += v // want "float \\+= accumulation in map-iteration order"
+	}
+	return sum
+}

@@ -1,0 +1,14 @@
+package spec
+
+import ps "repro"
+
+// Test files are exempt from kindswitch: a test may legitimately probe
+// a subset of kinds.
+
+func partial(s ps.Spec) bool {
+	switch s.(type) {
+	case ps.PointSpec:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+// Package spec is the kindswitch fixture: switches over the sealed
+// ps.Spec interface and the ps.QueryKind enum, exhaustive and not.
+package spec
+
+import ps "repro"
+
+// incomplete omits TrajectorySpec; the default arm does not excuse it.
+func incomplete(s ps.Spec) string {
+	switch s.(type) { // want "type switch over the sealed ps.Spec interface is missing TrajectorySpec"
+	case ps.PointSpec:
+		return "point"
+	case ps.MultiPointSpec:
+		return "multipoint"
+	case ps.AggregateSpec:
+		return "aggregate"
+	case ps.LocationMonitoringSpec:
+		return "locmon"
+	case ps.RegionMonitoringSpec:
+		return "regmon"
+	case ps.EventDetectionSpec:
+		return "event"
+	case ps.RegionEventSpec:
+		return "regionevent"
+	default:
+		return "?"
+	}
+}
+
+// complete names every implementation, with a bound variable and a
+// pointer case thrown in: *T covers T.
+func complete(s ps.Spec) string {
+	switch v := s.(type) {
+	case ps.PointSpec:
+		return v.ID
+	case *ps.MultiPointSpec:
+		return v.ID
+	case ps.AggregateSpec:
+		return v.ID
+	case ps.TrajectorySpec:
+		return v.ID
+	case ps.LocationMonitoringSpec:
+		return v.ID
+	case ps.RegionMonitoringSpec:
+		return v.ID
+	case ps.EventDetectionSpec:
+		return v.ID
+	case ps.RegionEventSpec:
+		return v.ID
+	}
+	return ""
+}
+
+// otherInterface switches over a different interface entirely; the
+// analyzer only cares about ps.Spec.
+func otherInterface(v any) bool {
+	switch v.(type) {
+	case error:
+		return true
+	}
+	return false
+}
+
+// missingKinds omits two QueryKind constants.
+func missingKinds(k ps.QueryKind) bool {
+	switch k { // want "switch over ps.QueryKind is missing KindEventDetection, KindRegionEvent"
+	case ps.KindPoint, ps.KindMultiPoint, ps.KindAggregate, ps.KindTrajectory:
+		return false
+	case ps.KindLocationMonitoring, ps.KindRegionMonitoring:
+		return true
+	}
+	return false
+}
+
+// allKinds is exhaustive; the default arm is allowed on top.
+func allKinds(k ps.QueryKind) bool {
+	switch k {
+	case ps.KindPoint, ps.KindMultiPoint, ps.KindAggregate, ps.KindTrajectory:
+		return false
+	case ps.KindLocationMonitoring, ps.KindRegionMonitoring, ps.KindEventDetection, ps.KindRegionEvent:
+		return true
+	default:
+		return false
+	}
+}
+
+// notAKindSwitch has an untyped tag; ignored.
+func notAKindSwitch(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

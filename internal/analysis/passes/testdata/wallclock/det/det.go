@@ -1,0 +1,45 @@
+// Package det is a wallclock fixture loaded under a deterministic
+// package path (repro/internal/gp).
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until reads the wall clock"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "global rand.Intn is auto-seeded and nondeterministic"
+}
+
+func sample() float64 {
+	return rand.Float64() // want "global rand.Float64 is auto-seeded and nondeterministic"
+}
+
+// seeded uses math/rand constructors, which build deterministic
+// generators from an explicit seed; only the global state is banned.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// method calls on a seeded generator are fine — that is what
+// internal/rng hands out.
+func drawn(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// pure time arithmetic does not read the clock.
+func shifted(t time.Time) time.Time {
+	return t.Add(time.Second)
+}

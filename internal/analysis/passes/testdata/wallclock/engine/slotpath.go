@@ -1,0 +1,10 @@
+package engine
+
+import "time"
+
+// slotpath.go is NOT on the engine-shell allowlist, so the same calls
+// are flagged here even though the package path is the root package.
+
+func slotClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

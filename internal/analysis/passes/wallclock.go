@@ -1,0 +1,83 @@
+package passes
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Wallclock flags wall-clock reads (time.Now, time.Since, time.Until)
+// and global math/rand state in the deterministic packages. The slot
+// path must produce the same SlotReport on every run and on every node:
+// time comes from the engine's injected clock (internal/engine.Clock)
+// and randomness from seeded internal/rng streams. Exemptions, all
+// audited in DESIGN.md:
+//
+//   - _test.go files (tests may time themselves);
+//   - the engine shell files engine.go, engine_hub.go and shard.go,
+//     where wall time feeds only latency metrics and event timestamps
+//     (see wallclockAllowedFiles);
+//   - math/rand constructors (rand.New, rand.NewSource, ...), which are
+//     seed-deterministic — only the auto-seeded package-level functions
+//     (rand.Intn, rand.Float64, ...) are flagged.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now/time.Since and global math/rand in deterministic packages",
+	Run:  runWallclock,
+}
+
+// wallclockTimeFuncs are the time package functions that read the wall
+// clock directly.
+var wallclockTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are math/rand package-level functions that build
+// seeded generators rather than touching the global auto-seeded state.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallclock(pass *analysis.Pass) error {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		if pass.Pkg.Path() == rootPkg && wallclockAllowedFiles[baseName(pass.Fset, f.Pos())] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(sel.Sel)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // methods (e.g. (*rand.Rand).Intn, Time.Sub) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a deterministic package; use the injected engine clock — see DESIGN.md \"Determinism invariants\"",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s is auto-seeded and nondeterministic; draw from a seeded internal/rng stream — see DESIGN.md \"Determinism invariants\"",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -197,6 +197,7 @@ func TestBaselineMultiSelectPayments(t *testing.T) {
 	// Sum of all payments equals total cost (first query pays, rest free).
 	var paid float64
 	for _, out := range res.Outcomes {
+		//pslint:ignore floatorder tolerance-compared (1e-6) below; map-order float error is ~1 ulp
 		paid += out.TotalPayment()
 	}
 	if math.Abs(paid-res.TotalCost) > 1e-6 {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -49,9 +51,12 @@ func (l *Ledger) RecordPointResult(res *PointResult) {
 }
 
 func paymentsTo(res *PointResult, sensorID int) float64 {
+	// Sorted query order: the sum is a float accumulation, so iteration
+	// must be reproducible for earnings to be bit-identical across runs
+	// and strategies (floatorder).
 	var sum float64
-	for _, o := range res.Outcomes {
-		if o.Sensor != nil && o.Sensor.ID == sensorID {
+	for _, qid := range slices.Sorted(maps.Keys(res.Outcomes)) {
+		if o := res.Outcomes[qid]; o.Sensor != nil && o.Sensor.ID == sensorID {
 			sum += o.Payment
 		}
 	}
@@ -86,8 +91,11 @@ func (l *Ledger) recordMixPartial(res *MixSlotResult) {
 	for id, p := range res.Contributions {
 		l.sensorEarned[id] += p
 	}
-	for _, out := range res.Multi.Outcomes {
-		for id, p := range out.Payments {
+	// Sorted query order: one sensor can appear in several outcomes'
+	// payment maps, so its earnings sum must accumulate in a
+	// reproducible order (floatorder).
+	for _, qid := range slices.Sorted(maps.Keys(res.Multi.Outcomes)) {
+		for id, p := range res.Multi.Outcomes[qid].Payments {
 			l.sensorEarned[id] += p
 		}
 	}
@@ -113,20 +121,22 @@ func (l *Ledger) SensorEarned(id int) float64 { return l.sensorEarned[id] }
 // TotalWelfare returns cumulative value minus cumulative sensor cost.
 func (l *Ledger) TotalWelfare() float64 { return l.totalValue - l.totalCost }
 
-// TotalPaid sums all query payments.
+// TotalPaid sums all query payments, in sorted query order so the float
+// total is reproducible (floatorder).
 func (l *Ledger) TotalPaid() float64 {
 	var sum float64
-	for _, p := range l.queryPaid {
-		sum += p
+	for _, qid := range slices.Sorted(maps.Keys(l.queryPaid)) {
+		sum += l.queryPaid[qid]
 	}
 	return sum
 }
 
-// TotalEarned sums all sensor earnings.
+// TotalEarned sums all sensor earnings, in sorted sensor order so the
+// float total is reproducible (floatorder).
 func (l *Ledger) TotalEarned() float64 {
 	var sum float64
-	for _, e := range l.sensorEarned {
-		sum += e
+	for _, id := range slices.Sorted(maps.Keys(l.sensorEarned)) {
+		sum += l.sensorEarned[id]
 	}
 	return sum
 }

@@ -118,6 +118,7 @@ func TestPaymentsEq11(t *testing.T) {
 			if o.Payment < 0 {
 				t.Errorf("%s: negative payment %v", name, o.Payment)
 			}
+			//pslint:ignore floatorder tolerance-compared (1e-6) below; map-order float error is ~1 ulp
 			bySensor[o.Sensor.ID] += o.Payment
 		}
 		costByID := make(map[int]float64)

@@ -466,6 +466,63 @@ var (
 // histogramUnitSuffixes are the unit suffixes a histogram may end with.
 var histogramUnitSuffixes = []string{"_seconds", "_bytes", "_size"}
 
+// nameViolations lists every convention a family name breaks for its
+// kind (empty when clean). Shared by the runtime Validate sweep and the
+// package-level ValidateName entry point the pslint obsnames analyzer
+// calls at analysis time.
+func nameViolations(name string, kind Kind) []string {
+	var violations []string
+	if !nameRE.MatchString(name) {
+		violations = append(violations, "not a valid Prometheus metric name")
+	}
+	if !strings.HasPrefix(name, "ps_") {
+		violations = append(violations, "missing ps_ prefix")
+	}
+	switch kind {
+	case KindCounter:
+		if !strings.HasSuffix(name, "_total") {
+			violations = append(violations, "counter without _total suffix")
+		}
+	case KindGauge:
+		if strings.HasSuffix(name, "_total") {
+			violations = append(violations, "gauge with _total suffix")
+		}
+	case KindHistogram:
+		ok := false
+		for _, suf := range histogramUnitSuffixes {
+			if strings.HasSuffix(name, suf) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			violations = append(violations, fmt.Sprintf("histogram without a unit suffix (%s)", strings.Join(histogramUnitSuffixes, ", ")))
+		}
+	}
+	return violations
+}
+
+// ValidateName checks one metric family name against the Prometheus
+// naming grammar and the repo's conventions for the given kind. The
+// pslint obsnames analyzer applies it to string literals at analysis
+// time, so a bad name breaks the build instead of panicking the process
+// at registration.
+func ValidateName(name string, kind Kind) error {
+	if v := nameViolations(name, kind); len(v) > 0 {
+		return fmt.Errorf("obs: metric %s: %s", name, strings.Join(v, "; "))
+	}
+	return nil
+}
+
+// ValidateLabel checks one label name against the Prometheus label
+// grammar (reserved __ prefix included).
+func ValidateLabel(label string) error {
+	if !labelRE.MatchString(label) || strings.HasPrefix(label, "__") {
+		return fmt.Errorf("obs: invalid label name %q", label)
+	}
+	return nil
+}
+
 // Validate checks every registered family against the Prometheus naming
 // grammar and the repo's conventions, returning one error listing every
 // violation (nil when clean).
@@ -479,35 +536,11 @@ func (r *Registry) Validate() error {
 
 	var violations []string
 	for _, f := range fams {
-		if !nameRE.MatchString(f.name) {
-			violations = append(violations, fmt.Sprintf("%s: not a valid Prometheus metric name", f.name))
-		}
-		if !strings.HasPrefix(f.name, "ps_") {
-			violations = append(violations, fmt.Sprintf("%s: missing ps_ prefix", f.name))
-		}
-		switch f.kind {
-		case KindCounter:
-			if !strings.HasSuffix(f.name, "_total") {
-				violations = append(violations, fmt.Sprintf("%s: counter without _total suffix", f.name))
-			}
-		case KindGauge:
-			if strings.HasSuffix(f.name, "_total") {
-				violations = append(violations, fmt.Sprintf("%s: gauge with _total suffix", f.name))
-			}
-		case KindHistogram:
-			ok := false
-			for _, suf := range histogramUnitSuffixes {
-				if strings.HasSuffix(f.name, suf) {
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				violations = append(violations, fmt.Sprintf("%s: histogram without a unit suffix (%s)", f.name, strings.Join(histogramUnitSuffixes, ", ")))
-			}
+		for _, v := range nameViolations(f.name, f.kind) {
+			violations = append(violations, fmt.Sprintf("%s: %s", f.name, v))
 		}
 		for _, l := range f.labels {
-			if !labelRE.MatchString(l) || strings.HasPrefix(l, "__") {
+			if err := ValidateLabel(l); err != nil {
 				violations = append(violations, fmt.Sprintf("%s: invalid label name %q", f.name, l))
 			}
 		}
