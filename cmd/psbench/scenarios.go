@@ -719,19 +719,28 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 	}
 	var selected []scenario
 	var streamSelected []streamScenario
+	var overloadSelected []overloadScenario
 	if names == "all" {
+		// Overload soaks are excluded from "all" on purpose: they gate on
+		// boolean degradation properties, not comparable numbers, and a
+		// soak's wall time would dominate the sweep. Run them by name.
 		selected = scenarios
 		streamSelected = streamScenarios
 	} else if sc, ok := scenarioByName(names); ok {
 		selected = []scenario{sc}
 	} else if ssc, ok := streamScenarioByName(names); ok {
 		streamSelected = []streamScenario{ssc}
+	} else if osc, ok := overloadScenarioByName(names); ok {
+		overloadSelected = []overloadScenario{osc}
 	} else {
 		fmt.Fprintf(os.Stderr, "psbench: unknown scenario %q (have:", names)
 		for _, s := range scenarios {
 			fmt.Fprintf(os.Stderr, " %s", s.Name)
 		}
 		for _, s := range streamScenarios {
+			fmt.Fprintf(os.Stderr, " %s", s.Name)
+		}
+		for _, s := range overloadScenarios {
 			fmt.Fprintf(os.Stderr, " %s", s.Name)
 		}
 		fmt.Fprintln(os.Stderr, ", all)")
@@ -865,6 +874,13 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 	// -baseline does not apply to them.
 	for _, ssc := range streamSelected {
 		if code := runStreamScenarioMode(ssc, 0, emitJSON, outDir); code != 0 {
+			exit = code
+		}
+	}
+	// Overload soaks likewise gate on absolute degradation invariants;
+	// -slots shortens the soak for the reduced-scale CI configuration.
+	for _, osc := range overloadSelected {
+		if code := runOverloadScenarioMode(osc, slots, emitJSON, outDir); code != 0 {
 			exit = code
 		}
 	}

@@ -47,6 +47,13 @@ func main() {
 		retain   = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable (0 = evict at the next sweep)")
 		debug    = flag.Bool("debug", false, "mount net/http/pprof and expvar under /debug/")
 		logLevel = flag.String("log", "info", "structured log level: debug, info, warn, error or off")
+
+		rateLimit           = flag.Float64("rate-limit", 0, "per-client submission rate limit in specs/second (0 = unlimited)")
+		rateBurst           = flag.Int("rate-burst", 0, "per-client submission burst (0 = one second's worth of -rate-limit)")
+		highWater           = flag.Float64("highwater", 0, "ingest-queue admission threshold as a fraction of -queue; submissions 429 past it (0 = disabled)")
+		maxStreamsPerClient = flag.Int("max-streams-per-client", 0, "max concurrent /watch streams per client (0 = unlimited)")
+		maxStreams          = flag.Int("max-streams", 0, "global cap on concurrent /watch streams; at the cap the greediest client's oldest stream is evicted (0 = unlimited)")
+		shed                = flag.Bool("shed", false, "shed the oldest queued submission instead of rejecting new ones when the ingest queue is full")
 	)
 	flag.Parse()
 
@@ -77,6 +84,9 @@ func main() {
 		ps.WithQueueSize(*queue),
 		ps.WithDrainSlots(*drain),
 	}
+	if *shed {
+		engineOpts = append(engineOpts, ps.WithShedOldest())
+	}
 	if logger != nil {
 		engineOpts = append(engineOpts, ps.WithLogger(logger))
 	}
@@ -106,11 +116,16 @@ func main() {
 	// The flag keeps its historical meaning: 0 evicts finished records at
 	// the next sweep.
 	api := serve.New(eng, w, serve.Options{
-		Retain:      *retain,
-		NoRetention: *retain <= 0,
-		Strategy:    strat,
-		Logger:      logger,
-		Debug:       *debug,
+		Retain:              *retain,
+		NoRetention:         *retain <= 0,
+		Strategy:            strat,
+		Logger:              logger,
+		Debug:               *debug,
+		RateLimit:           *rateLimit,
+		RateBurst:           *rateBurst,
+		HighWater:           *highWater,
+		MaxStreamsPerClient: *maxStreamsPerClient,
+		MaxStreams:          *maxStreams,
 	})
 	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	go func() {

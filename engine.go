@@ -3,6 +3,7 @@ package ps
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,13 @@ var (
 	// ErrEngineStopped reports a submission to (or a subscription cut off
 	// by) a stopped engine.
 	ErrEngineStopped = engine.ErrStopped
+	// ErrShed reports a submission that was accepted into the ingest
+	// queue but evicted by the shed-oldest overflow policy before going
+	// live (see WithShedOldest). It wraps ErrQueueFull, so callers
+	// treating every overload rejection alike can keep testing
+	// errors.Is(err, ErrQueueFull); errors.Is(err, ErrShed) isolates the
+	// shed case.
+	ErrShed = fmt.Errorf("ps: submission shed under overload: %w", engine.ErrQueueFull)
 	// ErrCanceled marks a subscription ended by QueryHandle.Cancel.
 	ErrCanceled = errors.New("ps: query canceled")
 	// ErrDuplicateQueryID rejects a submission whose ID is already live.
@@ -107,8 +115,13 @@ type EngineMetrics struct {
 	// duplicate ID, registration error).
 	QueriesSubmitted int64
 	QueriesRejected  int64
-	QueriesCanceled  int64
-	ActiveQueries    int
+	// QueriesShed counts submissions accepted into the ingest queue but
+	// evicted by the shed-oldest overflow policy before going live (not
+	// included in QueriesRejected — a shed submission was admitted, then
+	// sacrificed to newer work).
+	QueriesShed     int64
+	QueriesCanceled int64
+	ActiveQueries   int
 	// Per-(query, slot) delivery counters: Answered counts results with
 	// positive value, Starved results delivered with none.
 	Answered int64
@@ -160,6 +173,7 @@ type engineConfig struct {
 	interval    time.Duration
 	queueSize   int
 	blockOnFull bool
+	shedOldest  bool
 	eventBuffer int
 	drainSlots  int
 	logger      *slog.Logger
@@ -184,6 +198,20 @@ func WithQueueSize(n int) EngineOption {
 // failing fast with ErrQueueFull.
 func WithBlockingSubmit() EngineOption {
 	return func(c *engineConfig) { c.blockOnFull = true }
+}
+
+// WithShedOldest makes a full ingest queue evict its oldest still-queued
+// submission to admit the new one — the evicted query's stream closes
+// with ErrShed and EngineMetrics.QueriesShed (ps_shed_total) counts it.
+// Under sustained overload this keeps admission latency flat and sheds
+// the work that has already waited longest, instead of rejecting all
+// fresh work (the default) or stalling submitters (WithBlockingSubmit,
+// which this option overrides). Only submissions are sheddable; cancels,
+// strategy switches and RunSlots commands are never evicted, though
+// shedding may delay them behind newer submissions. Intended for
+// real-clock serving engines.
+func WithShedOldest() EngineOption {
+	return func(c *engineConfig) { c.shedOldest = true }
 }
 
 // WithEventBuffer sets each subscription's event buffer (default 16,
@@ -283,6 +311,9 @@ func newEngine(agg queryRuntime, opts []EngineOption) *Engine {
 	if cfg.blockOnFull {
 		lc.Overflow = engine.OverflowBlock
 	}
+	if cfg.shedOldest {
+		lc.Overflow = engine.OverflowShedOldest
+	}
 	if cfg.interval > 0 {
 		lc.Clock = engine.NewRealClock(cfg.interval)
 	}
@@ -318,6 +349,14 @@ func (e *Engine) RunSlots(n int) error { return e.loop.StepSlots(n) }
 // Flush blocks until every submission enqueued before the call has been
 // applied to the aggregator. No slot is executed.
 func (e *Engine) Flush() error { return e.loop.StepSlots(0) }
+
+// QueueStats reports the ingest queue's current depth and capacity — the
+// cheap snapshot admission layers poll on every request, without copying
+// the full EngineMetrics.
+func (e *Engine) QueueStats() (depth, capacity int) {
+	s := e.loop.Stats()
+	return s.QueueDepth, s.QueueCap
+}
 
 // Metrics returns a snapshot of the engine-wide counters.
 func (e *Engine) Metrics() EngineMetrics {
@@ -370,7 +409,7 @@ func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
 	}
 	id := spec.QueryID()
 	h := &QueryHandle{id: id, eng: e, sub: e.hub.newSubscription(id)}
-	err := e.loop.Do(e.timedIngest(func() {
+	err := e.loop.DoSheddable(e.timedIngest(func() {
 		if e.hub.live(id) {
 			h.fail(ErrDuplicateQueryID)
 			e.countRejected()
@@ -389,7 +428,18 @@ func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
 		e.mu.Unlock()
 		e.obs.queriesSubmitted.Inc()
 		e.obs.queriesActive.Set(float64(e.hub.liveCount()))
-	}))
+	}), func() {
+		// Shed by the overflow policy before the submission ran (see
+		// WithShedOldest): close the never-attached stream so the
+		// submitter's consumer observes a terminal verdict, and account
+		// the eviction. Runs on whichever goroutine's enqueue caused the
+		// shed; h.fail only takes hub.mu, safe off the loop goroutine.
+		h.fail(ErrShed)
+		e.mu.Lock()
+		e.m.QueriesShed++
+		e.mu.Unlock()
+		e.obs.queriesShed.Inc()
+	})
 	if err != nil {
 		e.countRejected()
 		return nil, err
@@ -397,8 +447,9 @@ func (e *Engine) Submit(spec Spec) (*QueryHandle, error) {
 	return h, nil
 }
 
-// fail closes the handle's never-attached stream with err. Loop
-// goroutine only.
+// fail closes the handle's never-attached stream with err. Safe from
+// any goroutine (it only takes hub.mu); called from the loop goroutine
+// for submission failures and from the shedding goroutine for evictions.
 func (h *QueryHandle) fail(err error) {
 	h.eng.hub.mu.Lock()
 	h.sub.closeLocked(err)

@@ -1,0 +1,125 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestEngineShedOldest: under WithShedOldest a full ingest queue evicts
+// the OLDEST queued submission to admit the newest — fresh work wins —
+// and the evicted submitter observes a terminal ErrShed verdict that
+// still satisfies errors.Is against ErrQueueFull. The engine is left
+// unstarted while submitting so the queue fills deterministically.
+func TestEngineShedOldest(t *testing.T) {
+	world := NewRWMWorld(1, 100, SensorConfig{})
+	eng := NewEngine(NewAggregator(world), WithQueueSize(2), WithShedOldest())
+
+	handles := make([]*QueryHandle, 0, 4)
+	for i := 1; i <= 4; i++ {
+		h, err := eng.Submit(PointSpec{ID: fmt.Sprintf("shed-%d", i), Loc: Pt(30, 30), Budget: 15})
+		if err != nil {
+			t.Fatalf("Submit shed-%d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+
+	// s1 and s2 — the oldest — were evicted to admit s3 and s4, in order.
+	for i := range 2 {
+		for range handles[i].Events() {
+			// Drain: a shed submission's stream closes without events.
+		}
+		err := handles[i].Err()
+		if !errors.Is(err, ErrShed) {
+			t.Fatalf("shed-%d: Err() = %v, want ErrShed", i+1, err)
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("shed-%d: ErrShed does not satisfy errors.Is(_, ErrQueueFull): %v", i+1, err)
+		}
+	}
+
+	// The survivors run to completion once the loop starts. Wait for the
+	// tiny queue to drain first: RunSlots itself goes through the same
+	// queue, and under shed-oldest it would evict a survivor still
+	// waiting there.
+	eng.Start()
+	defer eng.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if d, _ := eng.QueueStats(); d == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ingest queue never drained after Start")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	for i := 2; i < 4; i++ {
+		var sawFinal bool
+		for ev := range handles[i].Events() {
+			if ev.Type == EventFinal {
+				sawFinal = true
+			}
+		}
+		if !sawFinal {
+			t.Errorf("shed-%d: no final event; Err() = %v", i+1, handles[i].Err())
+		}
+	}
+
+	m := eng.Metrics()
+	if m.QueriesShed != 2 {
+		t.Errorf("QueriesShed = %d, want 2", m.QueriesShed)
+	}
+	if m.QueriesSubmitted != 2 {
+		t.Errorf("QueriesSubmitted = %d, want 2 (the survivors)", m.QueriesSubmitted)
+	}
+
+	// A fresh submission against the idle started engine is admitted
+	// without shedding anything.
+	h, err := eng.Submit(PointSpec{ID: "shed-5", Loc: Pt(30, 30), Budget: 15})
+	if err != nil {
+		t.Fatalf("Submit shed-5: %v", err)
+	}
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	for range h.Events() {
+	}
+	if err := h.Err(); err != nil {
+		t.Fatalf("shed-5: Err() = %v, want nil", err)
+	}
+	if got := eng.Metrics().QueriesShed; got != 2 {
+		t.Errorf("QueriesShed after idle submit = %d, want still 2", got)
+	}
+}
+
+// TestEngineQueueStats exposes the live ingest-queue depth/capacity the
+// serve layer's high-water admission check reads.
+func TestEngineQueueStats(t *testing.T) {
+	world := NewRWMWorld(1, 100, SensorConfig{})
+	eng := NewEngine(NewAggregator(world), WithQueueSize(8))
+
+	if _, err := eng.Submit(PointSpec{ID: "qs-1", Loc: Pt(30, 30), Budget: 15}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	depth, capacity := eng.QueueStats()
+	if capacity != 8 {
+		t.Errorf("capacity = %d, want 8", capacity)
+	}
+	if depth != 1 {
+		t.Errorf("depth = %d, want 1 (engine not started, nothing drained)", depth)
+	}
+
+	eng.Start()
+	defer eng.Stop()
+	if err := eng.RunSlots(1); err != nil {
+		t.Fatalf("RunSlots: %v", err)
+	}
+	if depth, _ := eng.QueueStats(); depth != 0 {
+		t.Errorf("depth after drain = %d, want 0", depth)
+	}
+}

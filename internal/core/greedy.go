@@ -771,8 +771,10 @@ func (s *selection) addCounters(c evalCounters) {
 
 // scanRange finds the best candidate in [lo, hi): the lowest sensor index
 // with the strictly largest positive net benefit. It fills the gain
-// caches for its shard; shards never overlap, and Gain only reads query
-// state, so concurrent shards do not race.
+// caches for its shard; shards never overlap, and Gain is safe for
+// concurrent callers (states that memoize geometry guard their memo
+// with a mutex; see query.aggregateState), so concurrent shards do not
+// race.
 func (s *selection) scanRange(lo, hi int, c *evalCounters) (int, float64) {
 	bestS, bestNet := -1, 0.0
 	for si := lo; si < hi; si++ {

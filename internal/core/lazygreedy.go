@@ -320,7 +320,8 @@ func (s *selection) lazyLoop(sharded bool, workers int) {
 
 // refreshRemaining brings every remaining sensor's gain cache up to the
 // current query versions (optionally sharded; shards touch disjoint
-// sensors, and Gain is read-only on query state, so they do not race).
+// sensors, and Gain is safe for concurrent callers — memoizing states
+// guard their memo with a mutex — so they do not race).
 func (s *selection) refreshRemaining(sharded bool, workers int) {
 	n := len(s.offers)
 	if !sharded || workers <= 1 {

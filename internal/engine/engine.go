@@ -46,6 +46,16 @@ const (
 	OverflowReject OverflowPolicy = iota
 	// OverflowBlock makes Do wait for queue space (or engine stop).
 	OverflowBlock
+	// OverflowShedOldest makes a full queue evict its oldest sheddable
+	// command (see DoSheddable) to admit the new one: fresh work wins
+	// over stale work that has been waiting longest, the load-shedding
+	// policy of overloaded serving layers. Commands enqueued with plain
+	// Do are never shed; when shedding scans past one it is re-enqueued
+	// at the tail, so under sustained overflow non-sheddable commands may
+	// execute later than their enqueue order. Intended for a started,
+	// real-clock loop — with no consumer running, re-enqueueing a
+	// non-sheddable head can block until the loop starts.
+	OverflowShedOldest
 )
 
 // Config parameterizes a Loop.
@@ -68,6 +78,9 @@ type Stats struct {
 	// ingest queue.
 	Enqueued int64
 	Rejected int64
+	// Shed counts queued sheddable commands evicted (their onShed run
+	// instead) by OverflowShedOldest to make room for newer work.
+	Shed int64
 	// QueueDepth/QueueCap describe the ingest queue at snapshot time.
 	QueueDepth int
 	QueueCap   int
@@ -95,7 +108,7 @@ type Loop[R any] struct {
 	clock    Clock
 	overflow OverflowPolicy
 
-	cmds chan func()
+	cmds chan command
 	// stopping is closed first during Stop, before sendMu is acquired:
 	// it wakes blocking sends parked in Do so they release the read lock
 	// (closing it after taking the write lock would deadlock Stop against
@@ -134,7 +147,7 @@ func New[R any](runner Runner[R], cfg Config, onSlot func(R, time.Duration), fin
 		finalize: finalize,
 		clock:    cfg.Clock,
 		overflow: cfg.Overflow,
-		cmds:     make(chan func(), cfg.QueueSize),
+		cmds:     make(chan command, cfg.QueueSize),
 		stopping: make(chan struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -167,11 +180,37 @@ func (l *Loop[R]) Stop() {
 	<-l.done
 }
 
+// command is one queued unit of work. onShed is non-nil only for
+// sheddable commands: under OverflowShedOldest a full queue may evict
+// the command before it runs, invoking onShed (on the goroutine whose
+// enqueue caused the eviction) instead of fn.
+type command struct {
+	fn     func()
+	onShed func()
+}
+
 // Do enqueues f for execution on the loop goroutine. Under OverflowReject
 // a full queue returns ErrQueueFull; under OverflowBlock, Do waits for
-// space. After Stop, Do returns ErrStopped. A nil return guarantees f
-// will run (possibly during the shutdown drain).
+// space; under OverflowShedOldest the queue's oldest sheddable command
+// is evicted to make room (ErrQueueFull only when nothing is sheddable).
+// After Stop, Do returns ErrStopped. A nil return guarantees f will run
+// (possibly during the shutdown drain) — commands enqueued with Do are
+// never shed.
 func (l *Loop[R]) Do(f func()) error {
+	return l.enqueue(command{fn: f})
+}
+
+// DoSheddable enqueues f like Do, but marks it evictable under
+// OverflowShedOldest: if a later enqueue finds the queue full while f is
+// still waiting, f is discarded and onShed runs in its place (on the
+// evicting goroutine — onShed must be safe off the loop goroutine).
+// Exactly one of f and onShed runs for every nil return. Under the other
+// overflow policies DoSheddable behaves exactly like Do.
+func (l *Loop[R]) DoSheddable(f, onShed func()) error {
+	return l.enqueue(command{fn: f, onShed: onShed})
+}
+
+func (l *Loop[R]) enqueue(c command) error {
 	l.sendMu.RLock()
 	defer l.sendMu.RUnlock()
 	if l.stopped {
@@ -180,15 +219,23 @@ func (l *Loop[R]) Do(f func()) error {
 	// While we hold sendMu, Stop cannot flip stopped, so the loop is
 	// still consuming: a blocking send always makes progress, and any
 	// send that succeeds lands before the shutdown drain.
-	if l.overflow == OverflowBlock {
+	switch l.overflow {
+	case OverflowBlock:
 		select {
-		case l.cmds <- f:
+		case l.cmds <- c:
 		case <-l.stopping:
 			return ErrStopped
 		}
-	} else {
+	case OverflowShedOldest:
+		if !l.sendShedding(c) {
+			l.mu.Lock()
+			l.stats.Rejected++
+			l.mu.Unlock()
+			return ErrQueueFull
+		}
+	default:
 		select {
-		case l.cmds <- f:
+		case l.cmds <- c:
 		default:
 			l.mu.Lock()
 			l.stats.Rejected++
@@ -200,6 +247,37 @@ func (l *Loop[R]) Do(f func()) error {
 	l.stats.Enqueued++
 	l.mu.Unlock()
 	return nil
+}
+
+// sendShedding places c on a possibly-full queue by evicting the oldest
+// sheddable command waiting in it. A popped non-sheddable head is
+// re-enqueued at the tail (a blocking send: the caller holds
+// sendMu.RLock, so the loop goroutine cannot have passed its shutdown
+// drain and keeps consuming). Attempts are bounded by the queue
+// capacity: after scanning past every originally queued command without
+// finding a free or sheddable slot, the caller gets ErrQueueFull.
+func (l *Loop[R]) sendShedding(c command) bool {
+	for tries := 0; tries <= cap(l.cmds); tries++ {
+		select {
+		case l.cmds <- c:
+			return true
+		default:
+		}
+		select {
+		case old := <-l.cmds:
+			if old.onShed != nil {
+				l.mu.Lock()
+				l.stats.Shed++
+				l.mu.Unlock()
+				old.onShed()
+			} else {
+				l.cmds <- old
+			}
+		default:
+			// The loop drained the queue between our probes; retry the send.
+		}
+	}
+	return false
 }
 
 // StepSlots synchronously executes n slots on the loop goroutine and
@@ -247,8 +325,8 @@ func (l *Loop[R]) run() {
 	}
 	for {
 		select {
-		case f := <-l.cmds:
-			f()
+		case c := <-l.cmds:
+			c.fn()
 		case <-ticks:
 			l.runSlot()
 		case <-l.stop:
@@ -266,8 +344,8 @@ func (l *Loop[R]) run() {
 func (l *Loop[R]) drain() {
 	for {
 		select {
-		case f := <-l.cmds:
-			f()
+		case c := <-l.cmds:
+			c.fn()
 		default:
 			return
 		}

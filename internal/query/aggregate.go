@@ -1,6 +1,8 @@
 package query
 
 import (
+	"sync"
+
 	"repro/internal/geo"
 	"repro/internal/sensornet"
 )
@@ -111,6 +113,14 @@ type aggregateState struct {
 	cellSensors [][]int32
 	hits        int64
 	lookups     int64
+	// mu serializes the memo structures above: Gain is called
+	// concurrently by sharded scan lanes, and a cache miss mutates
+	// cellCache, ncCache and — crucially — cellSensors entries shared
+	// across lanes. The memoized nc is an integer and covered[] only
+	// changes between scan barriers, so lock order cannot change any
+	// gain value. Add runs strictly between scan barriers and needs no
+	// lock.
+	mu sync.Mutex
 }
 
 func (st *aggregateState) Query() Query { return st.q }
@@ -157,8 +167,11 @@ func (st *aggregateState) Value() float64 {
 // newlyCovered returns how many cells s would newly cover, from the
 // incrementally maintained count when available. A miss walks the
 // sensor's in-range list once and registers the sensor on its uncovered
-// cells so later coverage flips keep the count current.
+// cells so later coverage flips keep the count current. Safe for
+// concurrent use by scan lanes (see mu).
 func (st *aggregateState) newlyCovered(s *sensornet.Sensor) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.lookups++
 	if nc, ok := st.ncCache[s.ID]; ok {
 		st.hits++
@@ -275,6 +288,9 @@ type trajectoryState struct {
 	sampleSensors [][]int32
 	hits          int64
 	lookups       int64
+	// mu mirrors aggregateState.mu: Gain is called concurrently by
+	// sharded scan lanes and cache misses mutate the memo structures.
+	mu sync.Mutex
 }
 
 func (st *trajectoryState) Query() Query { return st.q }
@@ -323,7 +339,10 @@ func (st *trajectoryState) Value() float64 {
 }
 
 // newlyCovered mirrors aggregateState.newlyCovered over sample points.
+// Safe for concurrent use by scan lanes (see mu).
 func (st *trajectoryState) newlyCovered(s *sensornet.Sensor) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.lookups++
 	if nc, ok := st.ncCache[s.ID]; ok {
 		st.hits++

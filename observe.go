@@ -58,6 +58,7 @@ type engineObs struct {
 
 	queriesSubmitted *obs.Counter
 	queriesRejected  *obs.Counter
+	queriesShed      *obs.Counter
 	queriesCanceled  *obs.Counter
 	queriesActive    *obs.Gauge
 	answered         *obs.Counter
@@ -116,6 +117,8 @@ func newEngineObs() *engineObs {
 			"Queries that became live."),
 		queriesRejected: r.Counter("ps_queries_rejected_total",
 			"Submissions rejected before going live (validation, duplicate ID, queue overflow)."),
+		queriesShed: r.Counter("ps_shed_total",
+			"Queued submissions evicted by the shed-oldest overflow policy to admit newer work."),
 		queriesCanceled: r.Counter("ps_queries_canceled_total",
 			"Live queries withdrawn by their issuer."),
 		queriesActive: r.Gauge("ps_queries_active",

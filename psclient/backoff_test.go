@@ -1,0 +1,243 @@
+package psclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	ps "repro"
+	"repro/wire"
+)
+
+// fakeClock replaces a client's jitter and sleep with deterministic
+// recorders: jitter yields scripted values, sleep returns instantly and
+// logs what it was asked to wait.
+type fakeClock struct {
+	jitters []float64
+	calls   int
+	slept   []time.Duration
+}
+
+func (f *fakeClock) install(c *Client) {
+	c.jitter = func() float64 {
+		v := f.jitters[f.calls%len(f.jitters)]
+		f.calls++
+		return v
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		f.slept = append(f.slept, d)
+		return ctx.Err()
+	}
+}
+
+// TestRetryDelayFullJitter pins the backoff formula: uniform in
+// [0, base<<attempt) with a 1ms floor and a 30s ceiling, and a server
+// Retry-After hint added on top of (not replaced by) the jitter.
+func TestRetryDelayFullJitter(t *testing.T) {
+	c, err := Dial("http://h", WithRetry(4, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		jitter  float64
+		attempt int
+		hint    time.Duration
+		want    time.Duration
+	}{
+		{name: "half of base", jitter: 0.5, attempt: 0, want: 25 * time.Millisecond},
+		{name: "doubling ceiling", jitter: 0.5, attempt: 2, want: 100 * time.Millisecond},
+		{name: "zero draw floors at 1ms", jitter: 0, attempt: 0, want: time.Millisecond},
+		{name: "ceiling caps at 30s", jitter: 1, attempt: 20, want: 30 * time.Second},
+		{name: "huge attempt clamps shift", jitter: 1, attempt: 1000, want: 30 * time.Second},
+		{name: "server hint plus jitter", jitter: 0.5, attempt: 1, hint: 2 * time.Second, want: 2*time.Second + 50*time.Millisecond},
+		{name: "server hint without jitter skips floor", jitter: 0, attempt: 0, hint: time.Second, want: time.Second},
+	}
+	for _, tc := range cases {
+		fc := &fakeClock{jitters: []float64{tc.jitter}}
+		fc.install(c)
+		if got := c.retryDelay(tc.attempt, tc.hint); got != tc.want {
+			t.Errorf("%s: retryDelay(%d, %v) = %v, want %v", tc.name, tc.attempt, tc.hint, got, tc.want)
+		}
+	}
+}
+
+// TestClientHonorsRetryAfter: a 429 carrying Retry-After makes the
+// client wait the server's hint (plus jittered backoff) instead of its
+// own schedule alone.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts == 1 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"try later","code":"rate_limited"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"p1","status":"accepted"}`))
+	}))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, WithRetry(4, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fakeClock{jitters: []float64{0}}
+	fc.install(c)
+	if _, err := c.Submit(context.Background(), ps.PointSpec{ID: "p1", Loc: ps.Pt(1, 1), Budget: 5}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if len(fc.slept) != 1 || fc.slept[0] != 3*time.Second {
+		t.Errorf("slept = %v, want exactly [3s] from the server hint", fc.slept)
+	}
+
+	// The hint also surfaces on the terminal error for callers running
+	// their own loops.
+	attempts = 0
+	c2, _ := Dial(ts.URL, WithRetry(0, time.Millisecond))
+	_, err = c2.Submit(context.Background(), ps.PointSpec{ID: "p1", Loc: ps.Pt(1, 1), Budget: 5})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter != 3*time.Second {
+		t.Fatalf("err = %v, want APIError with RetryAfter 3s", err)
+	}
+}
+
+// TestClientRetriesTransient5xx: chaos-style injected 503s are retried,
+// while "the server is going away" codes are terminal.
+func TestClientRetriesTransient5xx(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"chaos: injected fault","code":"chaos_injected"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"p1","status":"accepted"}`))
+	}))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	(&fakeClock{jitters: []float64{0.5}}).install(c)
+	if _, err := c.Submit(context.Background(), ps.PointSpec{ID: "p1", Loc: ps.Pt(1, 1), Budget: 5}); err != nil {
+		t.Fatalf("Submit through 503s: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+
+	// server_closing is not worth retrying: the server told us it is
+	// draining for good.
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"server closing","code":"server_closing"}`))
+	}))
+	defer ts2.Close()
+	c2, _ := Dial(ts2.URL, WithRetry(4, time.Millisecond))
+	fc2 := &fakeClock{jitters: []float64{0.5}}
+	fc2.install(c2)
+	_, err = c2.Submit(context.Background(), ps.PointSpec{ID: "p1", Loc: ps.Pt(1, 1), Budget: 5})
+	if !errors.Is(err, ps.ErrEngineStopped) && err == nil {
+		t.Fatal("Submit against a draining server succeeded")
+	}
+	if len(fc2.slept) != 0 {
+		t.Errorf("slept %v retrying server_closing, want no retries", fc2.slept)
+	}
+}
+
+// TestSubmitBatchRetriesQueueFull: a 200 batch response with per-spec
+// queue_full rejections re-submits only those specs, honoring the
+// response's Retry-After, and the merged verdicts come back
+// index-aligned. Entries still rejected after the budget keep their code
+// and reconstruct ps.ErrQueueFull via BatchResult.Err().
+func TestSubmitBatchRetriesQueueFull(t *testing.T) {
+	var batches [][]wire.Envelope
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req wire.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode batch: %v", err)
+		}
+		batches = append(batches, req.Queries)
+		resp := wire.BatchResponse{V: wire.Version2}
+		for _, env := range req.Queries {
+			// The spec with ID "stuck" is rejected queue_full on every
+			// round; everything else is accepted on the second round.
+			if env.ID == "stuck" || len(batches) == 1 {
+				resp.Rejected++
+				resp.Results = append(resp.Results, wire.BatchResult{
+					ID: env.ID, Status: "rejected", Code: wire.CodeQueueFull,
+					Error: "engine: ingest queue full",
+				})
+				continue
+			}
+			resp.Accepted++
+			resp.Results = append(resp.Results, wire.BatchResult{ID: env.ID, Status: "accepted"})
+		}
+		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, WithRetry(2, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fakeClock{jitters: []float64{0}}
+	fc.install(c)
+
+	specs := []ps.Spec{
+		ps.PointSpec{ID: "a", Loc: ps.Pt(1, 1), Budget: 5},
+		ps.PointSpec{ID: "stuck", Loc: ps.Pt(2, 2), Budget: 5},
+		ps.PointSpec{ID: "b", Loc: ps.Pt(3, 3), Budget: 5},
+	}
+	results, err := c.SubmitBatch(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Status != "accepted" || results[i].Err() != nil {
+			t.Errorf("results[%d] = %+v, want accepted after retry", i, results[i])
+		}
+	}
+	if results[1].Status != "rejected" || results[1].Code != wire.CodeQueueFull {
+		t.Fatalf("results[1] = %+v, want rejected queue_full", results[1])
+	}
+	if !errors.Is(results[1].Err(), ps.ErrQueueFull) {
+		t.Errorf("results[1].Err() = %v, want errors.Is ps.ErrQueueFull", results[1].Err())
+	}
+
+	// Round shapes: everything, then only the three rejected, then... the
+	// budget is 2 retries, so three requests total with "stuck" in each.
+	wantShapes := [][]string{{"a", "stuck", "b"}, {"a", "stuck", "b"}, {"stuck"}}
+	if len(batches) != len(wantShapes) {
+		t.Fatalf("server saw %d batch requests, want %d", len(batches), len(wantShapes))
+	}
+	for i, want := range wantShapes {
+		var got []string
+		for _, env := range batches[i] {
+			got = append(got, env.ID)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("round %d resubmitted %v, want %v", i, got, want)
+		}
+	}
+	// Both inter-round waits honored the server's 2s hint.
+	if len(fc.slept) != 2 || fc.slept[0] != 2*time.Second || fc.slept[1] != 2*time.Second {
+		t.Errorf("slept = %v, want [2s 2s]", fc.slept)
+	}
+}

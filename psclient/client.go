@@ -34,8 +34,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,6 +58,10 @@ type APIError struct {
 	// Code is the stable machine-readable error code (see wire.ErrorCode),
 	// empty when the server did not supply one.
 	Code string
+	// RetryAfter is the server's Retry-After hint (zero when absent). The
+	// client's own retry loops honor it in preference to their computed
+	// backoff; callers doing their own retrying should too.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -72,10 +78,16 @@ func (e *APIError) Unwrap() error {
 
 // Client talks to one psserve daemon.
 type Client struct {
-	base    *url.URL
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	base     *url.URL
+	hc       *http.Client
+	retries  int
+	backoff  time.Duration
+	clientID string
+
+	// jitter and sleep are the retry loop's randomness and clock; tests
+	// inject deterministic substitutes.
+	jitter func() float64
+	sleep  func(ctx context.Context, d time.Duration) error
 }
 
 // Option customizes a Client.
@@ -91,9 +103,10 @@ func WithHTTPClient(hc *http.Client) Option {
 	}
 }
 
-// WithRetry configures the 429 retry policy: up to retries re-attempts
-// spaced by an exponentially growing backoff starting at base. The
-// default is 4 retries from 50ms. retries 0 disables retrying.
+// WithRetry configures the backpressure retry policy: up to retries
+// re-attempts spaced by full-jitter exponential backoff with ceiling
+// base<<attempt (see retryDelay). The default is 4 retries from 50ms.
+// retries 0 disables retrying.
 func WithRetry(retries int, base time.Duration) Option {
 	return func(c *Client) {
 		if retries >= 0 {
@@ -103,6 +116,15 @@ func WithRetry(retries int, base time.Duration) Option {
 			c.backoff = base
 		}
 	}
+}
+
+// WithClientID sets a stable client identity sent as the X-Client-ID
+// header on every request. The server keys per-client admission control
+// (submission rate limits, watch-stream caps) by it; unset, the server
+// falls back to the connection's source address — which conflates every
+// client behind one NAT or proxy.
+func WithClientID(id string) Option {
+	return func(c *Client) { c.clientID = id }
 }
 
 // Dial builds a client for the daemon at baseURL (e.g.
@@ -115,18 +137,69 @@ func Dial(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("psclient: base URL %q needs an http(s) scheme", baseURL)
 	}
-	c := &Client{base: u, hc: http.DefaultClient, retries: 4, backoff: 50 * time.Millisecond}
+	c := &Client{
+		base: u, hc: http.DefaultClient, retries: 4, backoff: 50 * time.Millisecond,
+		jitter: rand.Float64, sleep: ctxSleep,
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c, nil
 }
 
+// ctxSleep is the default retry sleeper: waits d or until ctx ends.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// maxBackoff caps the exponential backoff ceiling.
+const maxBackoff = 30 * time.Second
+
+// retryDelay computes the wait before re-attempt number attempt
+// (0-based). Without a server hint it is AWS-style "full jitter":
+// uniform in [0, min(maxBackoff, base<<attempt)), floored at 1ms —
+// synchronized clients spread out instead of hammering the server in
+// lockstep. A server Retry-After hint takes precedence: the client waits
+// the hint plus a jittered fraction of its own backoff, so honoring the
+// hint does not re-synchronize the herd.
+func (c *Client) retryDelay(attempt int, serverHint time.Duration) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // 50ms<<20 is already past any sane ceiling
+	}
+	ceil := c.backoff << attempt
+	if ceil <= 0 || ceil > maxBackoff {
+		ceil = maxBackoff
+	}
+	d := time.Duration(c.jitter() * float64(ceil))
+	if serverHint > 0 {
+		return serverHint + d
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
 // do issues one request and decodes the JSON response into out (skipped
-// when out is nil). POSTs retry on 429 per the client's retry policy;
-// body must then be re-sendable, which is why callers pass raw bytes.
+// when out is nil). Retryable responses (see retryableAPIError) are
+// re-attempted per the client's retry policy; body must then be
+// re-sendable, which is why callers pass raw bytes.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
-	backoff := c.backoff
+	_, err := c.doHdr(ctx, method, path, body, out)
+	return err
+}
+
+// doHdr is do, additionally returning the response headers of the final
+// (successful) attempt — SubmitBatch reads Retry-After off a 200 batch
+// response carrying retryable per-spec rejections.
+func (c *Client) doHdr(ctx context.Context, method, path string, body []byte, out any) (http.Header, error) {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
 		if body != nil {
@@ -134,33 +207,49 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.base.String()+path, rd)
 		if err != nil {
-			return fmt.Errorf("psclient: build request: %v", err)
+			return nil, fmt.Errorf("psclient: build request: %v", err)
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if c.clientID != "" {
+			req.Header.Set("X-Client-ID", c.clientID)
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			return fmt.Errorf("psclient: %s %s: %w", method, path, err)
+			return nil, fmt.Errorf("psclient: %s %s: %w", method, path, err)
 		}
 		apiErr := checkStatus(resp)
 		if apiErr == nil {
 			err := decodeBody(resp, out)
 			resp.Body.Close()
-			return err
+			return resp.Header, err
 		}
 		resp.Body.Close()
-		if apiErr.StatusCode != http.StatusTooManyRequests || attempt >= c.retries {
-			return apiErr
+		if !retryableAPIError(apiErr) || attempt >= c.retries {
+			return nil, apiErr
 		}
-		// Backpressure: wait and retry.
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			return ctx.Err()
+		// Backpressure or a transient fault: wait (honoring the server's
+		// Retry-After, with full jitter either way) and retry.
+		if err := c.sleep(ctx, c.retryDelay(attempt, apiErr.RetryAfter)); err != nil {
+			return nil, err
 		}
-		backoff *= 2
 	}
+}
+
+// retryableAPIError reports whether a response is worth re-attempting:
+// 429 (backpressure — the server asked us to come back later) and the
+// transient gateway/availability statuses 502/503/504, except when the
+// code says the server is going away for good (draining or its engine
+// stopped).
+func retryableAPIError(e *APIError) bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return e.Code != wire.CodeServerClosing && e.Code != wire.CodeEngineStopped
+	}
+	return false
 }
 
 // checkStatus converts a non-2xx response into an *APIError.
@@ -173,7 +262,25 @@ func checkStatus(resp *http.Response) *APIError {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
 		msg = eb.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: eb.Code}
+	return &APIError{
+		StatusCode: resp.StatusCode, Message: msg, Code: eb.Code,
+		RetryAfter: parseRetryAfter(resp.Header),
+	}
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After header; zero when
+// absent or unparseable (the HTTP-date form is not worth supporting —
+// our server always sends seconds).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func decodeBody(resp *http.Response, out any) error {
@@ -217,16 +324,22 @@ func (c *Client) Submit(ctx context.Context, spec ps.Spec) (*Query, error) {
 }
 
 // SubmitBatch submits up to wire.MaxBatch specs in one POST
-// /queries:batch request. The batch as a whole is retried on 429; each
-// spec is accepted or rejected independently — the returned verdicts are
-// index-aligned with specs, and rejected entries carry the server's
-// stable error code (reconstructable via wire.SentinelError). The error
-// is non-nil only when the batch itself failed (bad request, transport).
+// /queries:batch request. The batch as a whole is retried on 429; and
+// because a 200 response can still carry per-spec overload rejections
+// (queue_full, shed), those entries are re-submitted — only them — in
+// follow-up batches up to the client's retry budget, honoring the
+// response's Retry-After between rounds. Each spec is accepted or
+// rejected independently: the returned verdicts are index-aligned with
+// specs, rejected entries carry the server's stable error code, and
+// BatchResult.Err() yields an error satisfying errors.Is against the
+// matching ps sentinel (e.g. ps.ErrQueueFull for entries still shed
+// after the last round). The error is non-nil only when the batch
+// itself failed (bad request, transport).
 func (c *Client) SubmitBatch(ctx context.Context, specs []ps.Spec) ([]wire.BatchResult, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("psclient: empty batch")
 	}
-	req := wire.BatchRequest{V: wire.Version2, Queries: make([]wire.Envelope, 0, len(specs))}
+	envs := make([]wire.Envelope, 0, len(specs))
 	for i, spec := range specs {
 		if spec == nil {
 			return nil, fmt.Errorf("psclient: nil spec at batch index %d", i)
@@ -235,20 +348,47 @@ func (c *Client) SubmitBatch(ctx context.Context, specs []ps.Spec) ([]wire.Batch
 		if err != nil {
 			return nil, fmt.Errorf("psclient: batch index %d: %w", i, err)
 		}
-		req.Queries = append(req.Queries, env)
+		envs = append(envs, env)
 	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
+
+	results := make([]wire.BatchResult, len(specs))
+	pending := make([]int, len(specs)) // indices into specs still unresolved
+	for i := range pending {
+		pending[i] = i
 	}
-	var resp wire.BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/queries:batch", body, &resp); err != nil {
-		return nil, err
+	for round := 0; ; round++ {
+		sub := make([]wire.Envelope, 0, len(pending))
+		for _, i := range pending {
+			sub = append(sub, envs[i])
+		}
+		body, err := json.Marshal(wire.BatchRequest{V: wire.Version2, Queries: sub})
+		if err != nil {
+			return nil, err
+		}
+		var resp wire.BatchResponse
+		hdr, err := c.doHdr(ctx, http.MethodPost, "/queries:batch", body, &resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != len(pending) {
+			return nil, fmt.Errorf("psclient: batch returned %d verdicts for %d specs", len(resp.Results), len(pending))
+		}
+		var retry []int
+		for j, res := range resp.Results {
+			i := pending[j]
+			results[i] = res
+			if res.Status != "accepted" && wire.RetryableCode(res.Code) {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 || round >= c.retries {
+			return results, nil
+		}
+		pending = retry
+		if err := c.sleep(ctx, c.retryDelay(round, parseRetryAfter(hdr))); err != nil {
+			return nil, err
+		}
 	}
-	if len(resp.Results) != len(specs) {
-		return nil, fmt.Errorf("psclient: batch returned %d verdicts for %d specs", len(resp.Results), len(specs))
-	}
-	return resp.Results, nil
 }
 
 // Get fetches a query's status and accumulated per-slot results.

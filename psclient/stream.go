@@ -116,6 +116,9 @@ func (s *Stream) connect(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("psclient: build watch request: %v", err)
 	}
+	if s.c.clientID != "" {
+		req.Header.Set("X-Client-ID", s.c.clientID)
+	}
 	resp, err := s.c.hc.Do(req)
 	if err != nil {
 		return &transientError{err}
@@ -167,7 +170,7 @@ func (s *Stream) Next(ctx context.Context) (wire.EventFrame, error) {
 		if s.body == nil {
 			if err := s.connect(ctx); err != nil {
 				var te *transientError
-				if errors.As(err, &te) && s.retryBackoff(ctx) {
+				if errors.As(err, &te) && s.retryBackoff(ctx, retryAfterOf(err)) {
 					continue
 				}
 				s.err = err
@@ -178,7 +181,7 @@ func (s *Stream) Next(ctx context.Context) (wire.EventFrame, error) {
 			// EOF or transport error mid-stream: reconnect and resume.
 			err := s.sc.Err()
 			s.closeBody()
-			if s.retryBackoff(ctx) {
+			if s.retryBackoff(ctx, 0) {
 				continue
 			}
 			if err == nil {
@@ -196,7 +199,7 @@ func (s *Stream) Next(ctx context.Context) (wire.EventFrame, error) {
 			// A corrupt frame means the stream is unusable from here on;
 			// reconnect from the last good cursor.
 			s.closeBody()
-			if s.retryBackoff(ctx) {
+			if s.retryBackoff(ctx, 0) {
 				continue
 			}
 			s.err = fmt.Errorf("psclient: watch stream for %q: %w", s.id, err)
@@ -232,20 +235,26 @@ func (s *Stream) Next(ctx context.Context) (wire.EventFrame, error) {
 	}
 }
 
-// retryBackoff sleeps the exponential backoff for the current attempt
-// and reports whether another attempt is allowed.
-func (s *Stream) retryBackoff(ctx context.Context) bool {
+// retryBackoff sleeps the full-jitter exponential backoff for the
+// current attempt — honoring the server's Retry-After hint when the
+// failure carried one — and reports whether another attempt is allowed.
+func (s *Stream) retryBackoff(ctx context.Context, serverHint time.Duration) bool {
 	if s.attempts >= s.c.retries {
 		return false
 	}
-	backoff := s.c.backoff << s.attempts
+	d := s.c.retryDelay(s.attempts, serverHint)
 	s.attempts++
-	select {
-	case <-time.After(backoff):
-		return true
-	case <-ctx.Done():
-		return false
+	return s.c.sleep(ctx, d) == nil
+}
+
+// retryAfterOf extracts the server's Retry-After hint from a (possibly
+// wrapped) *APIError; zero when there is none.
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
 	}
+	return 0
 }
 
 // All returns a single-use iterator over the remaining frames:

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// admission is the serve layer's overload-defense front door, checked
+// before any request reaches the engine:
+//
+//   - a per-client token bucket (keyed by X-Client-ID, falling back to
+//     the request's source address) bounds the sustained submission rate
+//     one client can impose;
+//   - a queue-depth high-water mark rejects submissions early once the
+//     engine's ingest queue is mostly full, so clients get an immediate
+//     429 + Retry-After instead of racing for the last slots;
+//   - per-client and global caps on concurrent /watch streams, with
+//     fair-share eviction of the greediest client's oldest stream when
+//     the global cap is hit — the evicted client's SDK reconnects and
+//     resumes from its cursor, with anything missed surfacing as gap
+//     frames.
+//
+// All knobs default to off (see Options); a zero-configured admission
+// admits everything. The clock is injectable for table tests.
+type admission struct {
+	rate       float64 // tokens (submissions) per second per client; <=0 disables
+	burst      float64 // bucket capacity
+	highWater  float64 // ingest-queue admission threshold, fraction of cap; <=0 disables
+	perClient  int     // max concurrent watch streams per client; <=0 unlimited
+	maxStreams int     // global cap on watch streams; <=0 unlimited
+
+	queueStats func() (depth, capacity int)
+	now        func() time.Time
+	// onEvict is called (outside a.mu is NOT guaranteed — it runs under
+	// it; keep it cheap) for every fair-share stream eviction.
+	onEvict func(client string)
+
+	mu      sync.Mutex
+	buckets map[string]*clientBucket
+	streams int   // active watch streams across all clients
+	seq     int64 // admission order of streams, for oldest-first eviction
+}
+
+// clientBucket is one client's admission state: its token bucket and its
+// live watch streams (by admission sequence, for oldest-first eviction).
+type clientBucket struct {
+	tokens float64
+	last   time.Time
+	live   map[int64]func() // seq -> cancel for active watch streams
+}
+
+func newAdmission(o Options, queueStats func() (int, int)) *admission {
+	burst := float64(o.RateBurst)
+	if burst <= 0 {
+		// Default burst: one second's worth of tokens, at least 1.
+		burst = math.Max(1, o.RateLimit)
+	}
+	return &admission{
+		rate:       o.RateLimit,
+		burst:      burst,
+		highWater:  o.HighWater,
+		perClient:  o.MaxStreamsPerClient,
+		maxStreams: o.MaxStreams,
+		queueStats: queueStats,
+		now:        time.Now,
+		buckets:    make(map[string]*clientBucket),
+	}
+}
+
+// clientKey identifies the logical client a request belongs to: the
+// X-Client-ID header when present (SDKs set it via
+// psclient.WithClientID), else the source host of the connection.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// bucketLocked returns (creating if needed) the client's bucket with its
+// tokens refilled to now. Caller holds a.mu.
+func (a *admission) bucketLocked(client string, now time.Time) *clientBucket {
+	b := a.buckets[client]
+	if b == nil {
+		if len(a.buckets) >= bucketSweepAt {
+			a.sweepBucketsLocked(now)
+		}
+		b = &clientBucket{tokens: a.burst, last: now}
+		a.buckets[client] = b
+	} else {
+		if el := now.Sub(b.last); el > 0 {
+			b.tokens = math.Min(a.burst, b.tokens+el.Seconds()*a.rate)
+		}
+		b.last = now
+	}
+	return b
+}
+
+// bucketSweepAt bounds the bucket map: when a new client would push past
+// it, full-and-idle buckets are dropped (they rebuild at full burst, so
+// dropping one never grants extra tokens).
+const bucketSweepAt = 4096
+
+// sweepBucketsLocked drops buckets that hold no live streams and have
+// refilled to capacity — forgetting them is lossless. Caller holds a.mu.
+func (a *admission) sweepBucketsLocked(now time.Time) {
+	for k, b := range a.buckets {
+		if len(b.live) > 0 {
+			continue
+		}
+		tokens := math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate)
+		if tokens >= a.burst {
+			delete(a.buckets, k)
+		}
+	}
+}
+
+// admitSubmit charges n submissions against the client's token bucket.
+// ok reports admission; when rejected, retryAfter is how long the client
+// should wait for the deficit to refill. A batch larger than the burst
+// is charged the full bucket, so oversized batches still make progress
+// one bucket at a time.
+func (a *admission) admitSubmit(client string, n int) (retryAfter time.Duration, ok bool) {
+	if a.rate <= 0 {
+		return 0, true
+	}
+	cost := math.Min(float64(n), a.burst)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.bucketLocked(client, a.now())
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return 0, true
+	}
+	deficit := cost - b.tokens
+	return time.Duration(deficit / a.rate * float64(time.Second)), false
+}
+
+// admitQueue applies the queue-depth high-water mark: submissions are
+// rejected once the engine's ingest queue is at or past
+// highWater*capacity, with a Retry-After scaled by how deep into the red
+// zone the queue is (1s at the mark, up to 5s when completely full).
+func (a *admission) admitQueue() (retryAfter time.Duration, ok bool) {
+	if a.highWater <= 0 {
+		return 0, true
+	}
+	depth, capacity := a.queueStats()
+	if capacity <= 0 {
+		return 0, true
+	}
+	mark := a.highWater * float64(capacity)
+	if float64(depth) < mark {
+		return 0, true
+	}
+	return a.pressureRetryAfter(), false
+}
+
+// pressureRetryAfter derives a Retry-After hint from current queue
+// pressure: 1s when the queue is empty, growing linearly to 5s when
+// full. Used both for high-water rejections and for ErrQueueFull/ErrShed
+// rejections surfacing from the engine itself.
+func (a *admission) pressureRetryAfter() time.Duration {
+	depth, capacity := a.queueStats()
+	frac := 0.0
+	if capacity > 0 {
+		frac = float64(depth) / float64(capacity)
+	}
+	return time.Duration((1 + 4*frac) * float64(time.Second))
+}
+
+// admitStream registers a watch stream for the client. cancel must abort
+// the stream when invoked (fair-share eviction calls it). On admission
+// the returned release must be deferred by the handler; on rejection
+// (per-client cap) retryAfter hints when to try again.
+func (a *admission) admitStream(client string, cancel func()) (release func(), retryAfter time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.bucketLocked(client, a.now())
+	if a.perClient > 0 && len(b.live) >= a.perClient {
+		return nil, time.Second, false
+	}
+	if a.maxStreams > 0 && a.streams >= a.maxStreams {
+		a.evictFairShareLocked()
+	}
+	a.seq++
+	seq := a.seq
+	if b.live == nil {
+		b.live = make(map[int64]func())
+	}
+	b.live[seq] = cancel
+	a.streams++
+	return func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if bb := a.buckets[client]; bb != nil {
+			if _, present := bb.live[seq]; present {
+				delete(bb.live, seq)
+				a.streams--
+			}
+		}
+	}, 0, true
+}
+
+// evictFairShareLocked cancels the oldest stream of the client holding
+// the most streams (ties broken by smallest client key, for determinism)
+// — the fair-share policy: a greedy watcher loses its stalest stream
+// first, clients at their fair share are never evicted by a newcomer
+// with equal standing. Caller holds a.mu.
+func (a *admission) evictFairShareLocked() {
+	var victim string
+	most := 0
+	for k, b := range a.buckets {
+		n := len(b.live)
+		if n > most || (n == most && n > 0 && (victim == "" || k < victim)) {
+			victim, most = k, n
+		}
+	}
+	if victim == "" {
+		return
+	}
+	b := a.buckets[victim]
+	oldest := int64(math.MaxInt64)
+	for seq := range b.live {
+		if seq < oldest {
+			oldest = seq
+		}
+	}
+	cancel := b.live[oldest]
+	delete(b.live, oldest)
+	a.streams--
+	if a.onEvict != nil {
+		a.onEvict(victim)
+	}
+	cancel()
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}

@@ -30,6 +30,9 @@ type serverObs struct {
 	duration *obs.HistogramVec // ps_http_request_duration_seconds{route}
 	inflight *obs.Gauge        // ps_http_requests_inflight
 	build    *obs.GaugeVec     // ps_build_info{version,revision,goversion}
+
+	admissionRejects *obs.CounterVec // ps_admission_rejects_total{reason}
+	watchEvictions   *obs.Counter    // ps_watch_evictions_total
 }
 
 func newServerObs(reg *obs.Registry) *serverObs {
@@ -45,6 +48,11 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		build: reg.GaugeVec("ps_build_info",
 			"Build identity of the serving binary; the value is always 1.",
 			"version", "revision", "goversion"),
+		admissionRejects: reg.CounterVec("ps_admission_rejects_total",
+			"Requests rejected by serve-layer admission control before reaching the engine, by reason (rate_limit, queue_pressure, stream_cap).",
+			"reason"),
+		watchEvictions: reg.Counter("ps_watch_evictions_total",
+			"Watch streams evicted by the fair-share policy to admit a new stream at the global cap."),
 	}
 	v, r, g := buildIdentity()
 	o.build.With(v, r, g).Set(1)
@@ -113,22 +121,28 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 		s.obs.inflight.Add(1)
 		start := time.Now()
+		// Account in a defer — WITHOUT recover — so a handler panic still
+		// propagates (chaos injection severs streams by panicking with
+		// http.ErrAbortHandler) but cannot leak the inflight gauge or lose
+		// the request from the counters.
+		defer func() {
+			dur := time.Since(start)
+			s.obs.inflight.Add(-1)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			s.obs.requests.With(route, strconv.Itoa(sw.status)).Inc()
+			s.obs.duration.With(route).Observe(dur.Seconds())
+			s.log.Info("http request",
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration", dur,
+				"query_id", requestQueryID(r),
+			)
+		}()
 		mux.ServeHTTP(sw, r)
-		dur := time.Since(start)
-		s.obs.inflight.Add(-1)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		s.obs.requests.With(route, strconv.Itoa(sw.status)).Inc()
-		s.obs.duration.With(route).Observe(dur.Seconds())
-		s.log.Info("http request",
-			"route", route,
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"duration", dur,
-			"query_id", requestQueryID(r),
-		)
 	})
 }
 

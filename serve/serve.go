@@ -73,6 +73,31 @@ type Options struct {
 	// process (heap dumps, 30s CPU profiles) and belongs behind an
 	// explicit operator decision.
 	Debug bool
+
+	// RateLimit bounds each client's sustained submission rate
+	// (specs/second, batch entries each count one) with a token bucket
+	// keyed by X-Client-ID or source address. Over-limit submissions get
+	// 429 (code "rate_limited") with a Retry-After covering the token
+	// deficit. Zero disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token bucket's capacity — the instantaneous burst
+	// a client may submit after idling. Zero defaults to max(1,
+	// RateLimit), i.e. one second's worth.
+	RateBurst int
+	// HighWater, in (0,1], is the ingest-queue admission threshold:
+	// submissions are rejected with 429 (code "queue_full") + Retry-After
+	// once the engine's queue depth reaches HighWater x capacity, before
+	// they race the queue's last slots. Zero disables the check.
+	HighWater float64
+	// MaxStreamsPerClient caps one client's concurrent /watch streams
+	// (429, code "rate_limited", when exceeded). Zero means unlimited.
+	MaxStreamsPerClient int
+	// MaxStreams caps concurrent /watch streams across all clients. At
+	// the cap, admitting a new stream evicts the oldest stream of the
+	// client holding the most (fair share): the evicted SDK reconnects
+	// and resumes from its cursor, missed frames surface as gaps. Zero
+	// means unlimited.
+	MaxStreams int
 }
 
 // Server owns the HTTP-side query registry. Each accepted query gets a
@@ -96,6 +121,7 @@ type Server struct {
 
 	log   *slog.Logger
 	obs   *serverObs
+	adm   *admission
 	start time.Time
 	debug bool
 
@@ -151,6 +177,11 @@ func New(eng *ps.Engine, world *ps.World, opts Options) *Server {
 		queries: make(map[string]*queryRecord),
 	}
 	s.strategy.Store(int32(opts.Strategy))
+	s.adm = newAdmission(opts, eng.QueueStats)
+	s.adm.onEvict = func(client string) {
+		s.obs.watchEvictions.Inc()
+		s.log.Info("watch stream evicted", "client", client, "reason", "fair_share")
+	}
 	return s
 }
 
@@ -446,6 +477,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpErrorCoded(w, http.StatusServiceUnavailable, wire.CodeServerClosing, "server closing")
 		return
 	}
+	// Admission runs before the body is even decoded: an over-limit or
+	// over-pressure client costs one map lookup, not a JSON parse plus an
+	// engine round trip.
+	client := clientKey(r)
+	if ra, ok := s.adm.admitSubmit(client, 1); !ok {
+		s.obs.admissionRejects.With("rate_limit").Inc()
+		s.httpTooMany(w, wire.CodeRateLimited, ra, "client %q over its submission rate limit", client)
+		return
+	}
+	if ra, ok := s.adm.admitQueue(); !ok {
+		s.obs.admissionRejects.With("queue_pressure").Inc()
+		s.httpTooMany(w, wire.CodeQueueFull, ra, "ingest queue past high-water mark: %v", ps.ErrQueueFull)
+		return
+	}
 	var env wire.Envelope
 	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -453,6 +498,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id, status, err := s.submitEnvelope(env)
 	if err != nil {
+		if status == http.StatusTooManyRequests {
+			// The engine itself pushed back (queue full, or admitted then
+			// shed); tell the client how long the queue needs to drain.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.adm.pressureRetryAfter()))
+		}
 		httpErrorCoded(w, status, wire.ErrorCode(err), "%v", err)
 		return
 	}
@@ -487,6 +537,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-spec limit", len(req.Queries), wire.MaxBatch)
 		return
 	}
+	// A batch charges the token bucket one token per entry — splitting a
+	// burst across batches must not dodge the rate limit.
+	client := clientKey(r)
+	if ra, ok := s.adm.admitSubmit(client, len(req.Queries)); !ok {
+		s.obs.admissionRejects.With("rate_limit").Inc()
+		s.httpTooMany(w, wire.CodeRateLimited, ra, "client %q over its submission rate limit", client)
+		return
+	}
+	if ra, ok := s.adm.admitQueue(); !ok {
+		s.obs.admissionRejects.With("queue_pressure").Inc()
+		s.httpTooMany(w, wire.CodeQueueFull, ra, "ingest queue past high-water mark: %v", ps.ErrQueueFull)
+		return
+	}
 	resp := wire.BatchResponse{V: wire.Version2, Results: make([]wire.BatchResult, 0, len(req.Queries))}
 	for _, env := range req.Queries {
 		id, _, err := s.submitEnvelope(env)
@@ -501,6 +564,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, wire.BatchResult{ID: id, Status: "accepted"})
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// A 200 batch can still carry retryable per-spec rejections
+	// (queue_full/shed); give the retrying client the same queue-pressure
+	// hint a standalone 429 would carry.
+	for _, res := range resp.Results {
+		if res.Status != "accepted" && wire.RetryableCode(res.Code) {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.adm.pressureRetryAfter()))
+			break
+		}
+	}
 	writeJSON(w, resp)
 }
 
@@ -569,6 +641,21 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Register the stream with admission control under a cancelable
+	// context: fair-share eviction cancels it, the client sees its stream
+	// end, reconnects with its cursor, and anything missed surfaces as a
+	// gap frame — degradation, not data corruption.
+	client := clientKey(r)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	release, ra, admitted := s.adm.admitStream(client, cancel)
+	if !admitted {
+		s.obs.admissionRejects.With("stream_cap").Inc()
+		s.httpTooMany(w, wire.CodeRateLimited, ra, "client %q at its concurrent watch-stream cap", client)
+		return
+	}
+	defer release()
+
 	// Attach the live subscription BEFORE snapshotting the record: every
 	// event is then either covered by the record replay (cursor <= the
 	// subscription's join boundary, which the record is waited up to) or
@@ -589,7 +676,6 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 
-	ctx := r.Context()
 	if sub == nil {
 		s.streamFromRecord(ctx, rec, cursor, fw)
 		return
@@ -967,6 +1053,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	httpErrorCoded(w, status, "", format, args...)
+}
+
+// httpTooMany writes a 429 with a Retry-After hint derived from the
+// admission decision (token deficit or queue pressure).
+func (s *Server) httpTooMany(w http.ResponseWriter, code string, retryAfter time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	httpErrorCoded(w, http.StatusTooManyRequests, code, format, args...)
 }
 
 // httpErrorCoded writes an ErrorBody carrying the stable machine-

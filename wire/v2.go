@@ -192,6 +192,29 @@ type BatchResult struct {
 	Error string `json:"error,omitempty"`
 }
 
+// Err returns the verdict as an error: nil for accepted entries;
+// otherwise an error that wraps the ps sentinel named by Code (when one
+// exists), so errors.Is(result.Err(), ps.ErrQueueFull) works on a
+// per-spec rejection exactly as it does for a standalone submission.
+func (r BatchResult) Err() error {
+	if r.Status == "accepted" {
+		return nil
+	}
+	if s := SentinelError(r.Code); s != nil {
+		return fmt.Errorf("wire: batch query %q rejected: %s: %w", r.ID, r.Error, s)
+	}
+	return fmt.Errorf("wire: batch query %q rejected: %s", r.ID, r.Error)
+}
+
+// RetryableCode reports whether a per-spec rejection code names a
+// transient overload condition a client may retry (the engine's ingest
+// queue was full, or the submission was admitted and then shed). Other
+// codes — validation errors, duplicate IDs, engine stopped — are
+// permanent for the same spec.
+func RetryableCode(code string) bool {
+	return code == CodeQueueFull || code == CodeShed
+}
+
 // BatchResponse is the body of a POST /queries:batch response. The HTTP
 // status is 200 whenever the batch itself was well-formed; per-spec
 // verdicts are in Results (index-aligned with the request).
@@ -215,11 +238,17 @@ const (
 	CodeNegativeSamples    = "negative_samples"
 	CodeNoGPModel          = "no_gp_model"
 	CodeQueueFull          = "queue_full"
+	CodeShed               = "shed"
 	CodeEngineStopped      = "engine_stopped"
 	CodeDuplicateQueryID   = "duplicate_query_id"
 	CodeCanceled           = "canceled"
 	CodeUnknownQuery       = "unknown_query"
 	CodeServerClosing      = "server_closing"
+	// CodeRateLimited marks a 429 produced by the serve layer's per-client
+	// admission control (token bucket or stream caps), not by the engine's
+	// ingest queue. It has no ps sentinel: the condition exists only at
+	// the HTTP layer.
+	CodeRateLimited = "rate_limited"
 )
 
 // errorCodes is the bidirectional sentinel <-> code table.
@@ -234,6 +263,11 @@ var errorCodes = []struct {
 	{CodeNegativeRedundancy, ps.ErrNegativeRedundancy},
 	{CodeNegativeSamples, ps.ErrNegativeSamples},
 	{CodeNoGPModel, ps.ErrNoGPModel},
+	// CodeShed must precede CodeQueueFull: ps.ErrShed wraps
+	// ps.ErrQueueFull (shed is a species of overload rejection), and
+	// ErrorCode returns the first matching row — shed errors keep their
+	// specific code while still satisfying errors.Is(err, ErrQueueFull).
+	{CodeShed, ps.ErrShed},
 	{CodeQueueFull, ps.ErrQueueFull},
 	{CodeEngineStopped, ps.ErrEngineStopped},
 	{CodeDuplicateQueryID, ps.ErrDuplicateQueryID},

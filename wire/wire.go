@@ -349,6 +349,7 @@ type Metrics struct {
 	SensorsUsed      int64   `json:"sensors_used"`
 	QueriesSubmitted int64   `json:"queries_submitted"`
 	QueriesRejected  int64   `json:"queries_rejected"`
+	QueriesShed      int64   `json:"queries_shed"`
 	QueriesCanceled  int64   `json:"queries_canceled"`
 	ActiveQueries    int     `json:"active_queries"`
 	Answered         int64   `json:"answered"`
@@ -464,6 +465,7 @@ func MetricsFrom(m ps.EngineMetrics, configured string) Metrics {
 		SensorsUsed:             m.SensorsUsed,
 		QueriesSubmitted:        m.QueriesSubmitted,
 		QueriesRejected:         m.QueriesRejected,
+		QueriesShed:             m.QueriesShed,
 		QueriesCanceled:         m.QueriesCanceled,
 		ActiveQueries:           m.ActiveQueries,
 		Answered:                m.Answered,
