@@ -248,6 +248,12 @@ type SlotReport struct {
 	// ShardedAggregator (the last entry is the spanning pass); nil on the
 	// unsharded pipeline.
 	Shards []ShardStats
+	// Degraded lists lanes whose partial could not be merged this slot —
+	// in a cluster, shards whose node died or answered with a stale
+	// epoch. Queries resident on a degraded lane got no outcome; the
+	// errors wrap ps.ErrNodeUnavailable/ps.ErrStaleEpoch where the cause
+	// is node loss or fencing, so errors.Is distinguishes them.
+	Degraded []LaneError
 	// Stages is the slot's per-stage latency trace in pipeline order —
 	// offer_gather/selection/commit/accounting on the unsharded pipeline,
 	// with the sharded pipeline's route/shard_select/spanning/reconcile

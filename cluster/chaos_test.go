@@ -1,0 +1,242 @@
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	ps "repro"
+	"repro/cluster"
+	"repro/wire"
+)
+
+// killerProxy sits between the coordinator and one node, forwarding
+// NDJSON frames line for line. While armed it drops the connection the
+// moment a run_slot frame arrives — a deterministic node death exactly
+// between offer gather and partial return.
+type killerProxy struct {
+	ln      net.Listener
+	backend string
+	armed   atomic.Bool
+	kills   atomic.Int32
+}
+
+func startKillerProxy(t *testing.T, backend string) *killerProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killerProxy{ln: ln, backend: backend}
+	t.Cleanup(func() { ln.Close() })
+	go p.run()
+	return p
+}
+
+func (p *killerProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *killerProxy) run() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.handle(conn)
+	}
+}
+
+func (p *killerProxy) handle(conn net.Conn) {
+	defer conn.Close()
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	cr, br := bufio.NewReader(conn), bufio.NewReader(backend)
+	for {
+		line, err := cr.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		if p.armed.Load() && bytes.Contains(line, []byte(`"run_slot"`)) {
+			p.kills.Add(1)
+			return // both connections close: the node sees EOF, the coordinator a dead read
+		}
+		if _, err := backend.Write(line); err != nil {
+			return
+		}
+		resp, err := br.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// hijackNode speaks a raw hello to a node as a foreign coordinator would,
+// moving it onto the given epoch.
+func hijackNode(t *testing.T, addr string, epoch uint64) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf, err := wire.MarshalClusterFrame(wire.ClusterFrame{
+		V: wire.ClusterVersion, Type: wire.ClusterHello, Seq: 1, Epoch: epoch, Node: "rogue",
+		Config: &wire.NodeConfig{World: "rwm", Seed: 1, Sensors: 10, Shards: 1, Shard: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(buf, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeClusterFrame(line)
+	if err != nil || resp.Type != wire.ClusterOK {
+		t.Fatalf("hijack hello rejected: %+v, %v", resp, err)
+	}
+}
+
+// TestClusterNodeFailureMidSlot is the node-kill chaos test: shard 1's
+// node dies between the coordinator's offer gather and the partial
+// return. The slot must complete degraded — ps.ErrNodeUnavailable on the
+// lost lane, healthy shards merged, no deadlock — and the next slot must
+// recover the node by resync replay under a fresh epoch, after which
+// reports are clean again.
+func TestClusterNodeFailureMidSlot(t *testing.T) {
+	const seed, sensors, slots = 21, 220, 4
+	const down = 1 // the slot during which shard 1's node is killed
+
+	addrs := startNodes(t, 4)
+	proxy := startKillerProxy(t, addrs[1])
+	addrs[1] = proxy.addr()
+
+	co, err := cluster.New(cluster.Config{
+		World: "rwm", Seed: seed, Sensors: sensors, Shards: 4,
+		Nodes: addrs, RPCTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	sa := co.Sharded()
+
+	for q, box := range quadrantInner {
+		if _, err := sa.Submit(ps.LocationMonitoringSpec{
+			ID: fmt.Sprintf("lm-%d", q), Loc: box.Center(), Duration: slots, Budget: 160, Samples: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for slot := 0; slot < slots; slot++ {
+		for q, box := range quadrantInner {
+			for i := 0; i < 5; i++ {
+				x := box.MinX + float64((i*37+slot*11+q*5)%13)
+				y := box.MinY + float64((i*53+slot*29+q*3)%13)
+				if _, err := sa.Submit(ps.PointSpec{
+					ID: fmt.Sprintf("pt-%d-%d-%d", slot, q, i), Loc: ps.Pt(x, y), Budget: 12,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if slot == down {
+			proxy.armed.Store(true)
+		}
+		rep := sa.RunSlot()
+		if slot == down {
+			proxy.armed.Store(false)
+			if proxy.kills.Load() != 1 {
+				t.Fatalf("slot %d: proxy killed %d connections, want 1", slot, proxy.kills.Load())
+			}
+			if len(rep.Degraded) != 1 || rep.Degraded[0].Shard != 1 {
+				t.Fatalf("slot %d: Degraded = %v, want exactly shard 1", slot, rep.Degraded)
+			}
+			if !errors.Is(rep.Degraded[0].Err, ps.ErrNodeUnavailable) {
+				t.Fatalf("slot %d: degraded error %v does not wrap ps.ErrNodeUnavailable", slot, rep.Degraded[0].Err)
+			}
+			// The lost lane contributed nothing this slot.
+			for q := range quadrantInner {
+				id := fmt.Sprintf("pt-%d-1-%d", slot, q%5)
+				if rep.Value(id) != 0 || rep.Payment(id) != 0 {
+					t.Fatalf("slot %d: shard 1 query %q has an outcome during the outage", slot, id)
+				}
+			}
+			if rep.Shards[1].Queries != 0 {
+				t.Fatalf("slot %d: dead shard's stats = %+v, want zero", slot, rep.Shards[1])
+			}
+			continue
+		}
+		if len(rep.Degraded) != 0 {
+			t.Fatalf("slot %d: Degraded = %v, want none", slot, rep.Degraded)
+		}
+	}
+
+	// The rejoin happened through a resync onto a bumped epoch.
+	var node1 wire.ClusterMember
+	for _, m := range co.Membership() {
+		if m.Shard == 1 {
+			node1 = m
+		}
+	}
+	if node1.State != "live" || node1.Epoch != 2 {
+		t.Fatalf("shard 1 member after rejoin = %+v, want live at epoch 2", node1)
+	}
+	if err := sa.Ledger().CheckBalance(1e-6); err != nil {
+		t.Errorf("ledger after chaos: %v", err)
+	}
+}
+
+// TestClusterHeartbeatRejoin: with heartbeats on, a killed node rejoins
+// between slots (the ping path redials and resyncs) and its liveness
+// fact recovers without any slot traffic.
+func TestClusterHeartbeatRejoin(t *testing.T) {
+	const seed, sensors = 9, 80
+	addr := startNode(t, "node0")
+	proxy := startKillerProxy(t, addr)
+	co, err := cluster.New(cluster.Config{
+		World: "rwm", Seed: seed, Sensors: sensors, Shards: 1,
+		Nodes:      []string{proxy.addr()},
+		Heartbeat:  20 * time.Millisecond,
+		FactTTL:    150 * time.Millisecond,
+		RPCTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// Kill the connection mid-slot, then let only heartbeats run.
+	proxy.armed.Store(true)
+	rep := co.Sharded().RunSlot()
+	proxy.armed.Store(false)
+	if len(rep.Degraded) != 1 {
+		t.Fatalf("Degraded = %v, want the lone lane", rep.Degraded)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := co.Membership()
+		if len(m) == 1 && m[0].State == "live" && m[0].Epoch >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never rejoined via heartbeat: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep := co.Sharded().RunSlot(); len(rep.Degraded) != 0 {
+		t.Fatalf("slot after heartbeat rejoin degraded: %v", rep.Degraded)
+	}
+}

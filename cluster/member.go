@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/wire"
+)
+
+// factTable is the coordinator's membership memory: TTL'd facts keyed by
+// subject and attribute, wirelink-style. Facts are upserted on every
+// successful RPC and merged from ping replies; readers see how long ago a
+// fact expired, which is what grades live → suspect → dead.
+//
+// The table deliberately runs on the wall clock: membership is an
+// operational concern outside the deterministic slot path (the cluster
+// package is not in pslint's DeterministicPkgs set), and liveness decides
+// only whether a lane is tried — never what a lane computes.
+type factTable struct {
+	mu    sync.Mutex
+	facts map[factKey]factEntry
+}
+
+type factKey struct {
+	subject   string
+	attribute string
+}
+
+type factEntry struct {
+	value   string
+	expires time.Time
+}
+
+func newFactTable() *factTable {
+	return &factTable{facts: map[factKey]factEntry{}}
+}
+
+// upsert records a fact, replacing any previous value for the same
+// subject/attribute pair.
+func (t *factTable) upsert(f wire.Fact, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.facts[factKey{f.Subject, f.Attribute}] = factEntry{
+		value:   f.Value,
+		expires: now.Add(time.Duration(f.TTLMs) * time.Millisecond),
+	}
+}
+
+// merge upserts a batch of gossiped facts, keeping whichever expiry is
+// later when the table already holds a fresher assertion.
+func (t *factTable) merge(facts []wire.Fact, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, f := range facts {
+		k := factKey{f.Subject, f.Attribute}
+		e := factEntry{value: f.Value, expires: now.Add(time.Duration(f.TTLMs) * time.Millisecond)}
+		if cur, ok := t.facts[k]; ok && cur.expires.After(e.expires) {
+			continue
+		}
+		t.facts[k] = e
+	}
+}
+
+// staleFor reports how long ago the fact expired: a non-positive duration
+// means it is still fresh. ok is false when no such fact is known.
+func (t *factTable) staleFor(subject, attribute string, now time.Time) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.facts[factKey{subject, attribute}]
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(e.expires), true
+}
+
+// snapshot returns every still-fresh fact with its remaining TTL, the
+// payload gossiped on heartbeat pings.
+func (t *factTable) snapshot(now time.Time) []wire.Fact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]wire.Fact, 0, len(t.facts))
+	for k, e := range t.facts {
+		ttl := e.expires.Sub(now)
+		if ttl <= 0 {
+			continue
+		}
+		out = append(out, wire.Fact{Subject: k.subject, Attribute: k.attribute, Value: e.value, TTLMs: ttl.Milliseconds()})
+	}
+	return out
+}
+
+// prune drops facts expired for longer than keep — entries past the
+// suspect grace window, whose absence already reads as dead.
+func (t *factTable) prune(now time.Time, keep time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, e := range t.facts {
+		if now.Sub(e.expires) > keep {
+			delete(t.facts, k)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	ps "repro"
+	"repro/cluster"
 	"repro/internal/rng"
 )
 
@@ -39,6 +41,13 @@ type scenario struct {
 	// Scenario mode then also runs the unsharded configuration first and
 	// gates on the p50 slot-latency speedup (minShardedSpeedup).
 	Shards int
+	// Cluster runs the sharded layer through the multi-node coordinator:
+	// one in-process psnode server per shard on a loopback socket, every
+	// partial JSON-framed across TCP. Results stay bit-identical to the
+	// in-process sharded run (the cluster's reconciliation contract), so
+	// the deterministic fields still guard drift; the speedup gate is
+	// waived because loopback RPC overhead is what the scenario measures.
+	Cluster bool
 	// Strategy pins the selection strategy for this scenario regardless
 	// of the -strategy flag ("" = honor the flag). Sharded scenarios pin
 	// it so the speedup compares identical per-shard algorithms.
@@ -270,6 +279,56 @@ var scenarios = []scenario{
 		},
 	},
 	{
+		Name: "cluster-metro",
+		Desc: "20k-sensor city on a 4-node loopback cluster: quadrant-local points, multipoints and aggregates plus a cross-shard tail, every partial JSON-framed over TCP",
+		Seed: 16,
+		// The workload mirrors sharded-metro at half the fleet so the
+		// cluster suite stays inside the CI budget; what this scenario
+		// adds over sharded-metro is the wire: world-replica lockstep on
+		// four node servers, NDJSON partials over loopback TCP, and the
+		// trace-replay merge back on the coordinator. The deterministic
+		// fields (welfare, valuation calls, answered counts) must match an
+		// in-process sharded run bit for bit — the cluster golden tests
+		// pin that — so any drift here is reconciliation drift.
+		Sensors:  20_000,
+		Slots:    4,
+		Shards:   4,
+		Cluster:  true,
+		Strategy: "lazy",
+		slot: func(r *scenarioRun, t int) {
+			quads := []ps.Rect{
+				ps.NewRect(21, 21, 34, 34),
+				ps.NewRect(46, 21, 59, 34),
+				ps.NewRect(21, 46, 34, 59),
+				ps.NewRect(46, 46, 59, 59),
+			}
+			for q, box := range quads {
+				for i := 0; i < 250; i++ {
+					r.pointIn(box, t, q*1000+i, 8+r.rnd.Uniform(0, 6))
+				}
+				for i := 0; i < 4; i++ {
+					r.multiPointIn(box, t, q*1000+i, 100+r.rnd.Uniform(0, 150), 6)
+				}
+				for i := 0; i < 2; i++ {
+					r.aggregateIn(box, t, q*1000+i, 250+r.rnd.Uniform(0, 200), 6, 10)
+				}
+			}
+			// Cross-shard tail: the spanning pass runs centrally on the
+			// coordinator even in cluster mode, and its selections ride the
+			// same per-slot commit to every node replica.
+			r.submit(ps.AggregateSpec{
+				ID:     r.id("span-agg", t, 0),
+				Region: ps.NewRect(32, 32, 48, 48),
+				Budget: 400,
+			}, true)
+			r.submit(ps.TrajectorySpec{
+				ID:     r.id("span-tr", t, 0),
+				Path:   ps.Trajectory{Waypoints: []ps.Point{ps.Pt(25, 42), ps.Pt(55, 42)}},
+				Budget: 150,
+			}, true)
+		},
+	},
+	{
 		Name:    "continuous-heavy",
 		Desc:    "monitoring-dominated: 20 locmon + 8 event + 4 region-event continuous queries over light one-shot traffic",
 		Seed:    14,
@@ -461,13 +520,22 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		shards = 1
 	}
 	r := &scenarioRun{
-		sc:    sc,
-		world: ps.NewRWMWorld(sc.Seed, sc.Sensors, ps.SensorConfig{}),
-		rnd:   rng.New(sc.Seed, "psbench-"+sc.Name),
+		sc:  sc,
+		rnd: rng.New(sc.Seed, "psbench-"+sc.Name),
 	}
-	if shards > 1 {
+	switch {
+	case sc.Cluster && shards > 1:
+		// Cluster mode: one in-process node server per shard behind a real
+		// loopback TCP socket, so the measured slot latency includes frame
+		// encode/decode and the RPC round trips.
+		agg, world, cleanup := startClusterBackend(sc, strat, shards)
+		defer cleanup()
+		r.agg, r.world = agg, world
+	case shards > 1:
+		r.world = ps.NewRWMWorld(sc.Seed, sc.Sensors, ps.SensorConfig{})
 		r.agg = ps.NewShardedAggregator(r.world, shards, ps.WithGreedyStrategy(strat))
-	} else {
+	default:
+		r.world = ps.NewRWMWorld(sc.Seed, sc.Sensors, ps.SensorConfig{})
 		r.agg = ps.NewAggregator(r.world, ps.WithGreedyStrategy(strat))
 	}
 	if sc.setup != nil {
@@ -609,6 +677,43 @@ func runScenario(sc scenario, strat ps.Strategy, slotsOverride int, seedOverride
 		AllocBytes:              m1.TotalAlloc - m0.TotalAlloc,
 		GoVersion:               runtime.Version(),
 	}
+}
+
+// startClusterBackend boots one in-process psnode per shard on loopback
+// sockets and returns a cluster coordinator driving them, its world
+// replica, and a cleanup closing everything. Failures panic: a scenario
+// that cannot assemble its backend is a harness bug, not a measurement.
+func startClusterBackend(sc scenario, strat ps.Strategy, shards int) (slotBackend, *ps.World, func()) {
+	nodes := make([]*cluster.NodeServer, shards)
+	addrs := make([]string, shards)
+	for k := 0; k < shards; k++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("psbench: scenario %s: node %d listen: %v", sc.Name, k, err))
+		}
+		node := cluster.NewNodeServer(fmt.Sprintf("node%d", k))
+		go node.Serve(ln)
+		nodes[k], addrs[k] = node, ln.Addr().String()
+	}
+	co, err := cluster.New(cluster.Config{
+		World:      "rwm",
+		Seed:       sc.Seed,
+		Sensors:    sc.Sensors,
+		Shards:     shards,
+		Strategy:   strat.String(),
+		Nodes:      addrs,
+		RPCTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("psbench: scenario %s: cluster: %v", sc.Name, err))
+	}
+	cleanup := func() {
+		co.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	return co.Sharded(), co.World(), cleanup
 }
 
 // maxLatencyRegression is the baseline gate: fail when the normalized
@@ -758,7 +863,10 @@ func runScenarioMode(names string, strategy string, slots int, seed int64, shard
 			}
 		}
 		shards := sc.Shards
-		gateSpeedup := sc.Shards > 1 && shardsFlag == 0
+		// Cluster scenarios measure loopback-RPC overhead on top of the
+		// sharded layer, so the unsharded comparison is informational, not
+		// a speedup gate.
+		gateSpeedup := sc.Shards > 1 && shardsFlag == 0 && !sc.Cluster
 		if shardsFlag > 0 {
 			shards = shardsFlag
 		}

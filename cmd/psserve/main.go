@@ -29,24 +29,26 @@ import (
 	"time"
 
 	ps "repro"
+	"repro/cluster"
 	"repro/serve"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		world    = flag.String("world", "rwm", "world: rwm, rnc or intellab")
-		sensors  = flag.Int("sensors", 200, "sensor count (rwm world only)")
-		seed     = flag.Int64("seed", 1, "world seed")
-		interval = flag.Duration("interval", time.Second, "slot clock interval")
-		sched    = flag.String("sched", "optimal", "scheduling: optimal, localsearch, baseline, egalitarian or greedy")
-		strategy = flag.String("strategy", "auto", "greedy selection strategy: auto, serial, sharded, lazy or lazy-sharded")
-		shards   = flag.Int("shards", 1, "geographic shards; >1 serves slots through the geo-sharded execution layer (greedy pipeline, -sched ignored)")
-		queue    = flag.Int("queue", 1024, "ingest queue size")
-		drain    = flag.Int("drain", 64, "max slots run at shutdown to drain continuous queries")
-		retain   = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable (0 = evict at the next sweep)")
-		debug    = flag.Bool("debug", false, "mount net/http/pprof and expvar under /debug/")
-		logLevel = flag.String("log", "info", "structured log level: debug, info, warn, error or off")
+		addr      = flag.String("addr", ":8080", "listen address")
+		world     = flag.String("world", "rwm", "world: rwm, rnc or intellab")
+		sensors   = flag.Int("sensors", 200, "sensor count (rwm world only)")
+		seed      = flag.Int64("seed", 1, "world seed")
+		interval  = flag.Duration("interval", time.Second, "slot clock interval")
+		sched     = flag.String("sched", "optimal", "scheduling: optimal, localsearch, baseline, egalitarian or greedy")
+		strategy  = flag.String("strategy", "auto", "greedy selection strategy: auto, serial, sharded, lazy or lazy-sharded")
+		shards    = flag.Int("shards", 1, "geographic shards; >1 serves slots through the geo-sharded execution layer (greedy pipeline, -sched ignored)")
+		nodeAddrs = flag.String("node-addrs", "", "comma-separated psnode addresses, one per shard (empty entry = in-process): serves slots through the multi-node cluster coordinator")
+		queue     = flag.Int("queue", 1024, "ingest queue size")
+		drain     = flag.Int("drain", 64, "max slots run at shutdown to drain continuous queries")
+		retain    = flag.Duration("retain", 10*time.Minute, "how long finished query records stay pollable (0 = evict at the next sweep)")
+		debug     = flag.Bool("debug", false, "mount net/http/pprof and expvar under /debug/")
+		logLevel  = flag.String("log", "info", "structured log level: debug, info, warn, error or off")
 
 		rateLimit           = flag.Float64("rate-limit", 0, "per-client submission rate limit in specs/second (0 = unlimited)")
 		rateBurst           = flag.Int("rate-burst", 0, "per-client submission burst (0 = one second's worth of -rate-limit)")
@@ -90,13 +92,36 @@ func main() {
 	if logger != nil {
 		engineOpts = append(engineOpts, ps.WithLogger(logger))
 	}
+	// The sharded and cluster layers always run the greedy Algorithm 5
+	// pipeline; an explicitly chosen -sched would be silently ignored, so
+	// refuse the combination instead of serving misleading comparison
+	// data.
+	schedSet := false
+	flag.Visit(func(f *flag.Flag) { schedSet = schedSet || f.Name == "sched" })
 	var eng *ps.Engine
-	if *shards > 1 {
-		// The sharded layer always runs the greedy Algorithm 5 pipeline;
-		// an explicitly chosen -sched would be silently ignored, so refuse
-		// the combination instead of serving misleading comparison data.
-		schedSet := false
-		flag.Visit(func(f *flag.Flag) { schedSet = schedSet || f.Name == "sched" })
+	var co *cluster.Coordinator
+	if *nodeAddrs != "" {
+		if schedSet {
+			fmt.Fprintf(os.Stderr, "psserve: -sched %s cannot be combined with -node-addrs: the cluster layer always uses the greedy pipeline\n", *sched)
+			os.Exit(2)
+		}
+		co, err = cluster.New(cluster.Config{
+			World:     *world,
+			Seed:      *seed,
+			Sensors:   *sensors,
+			Shards:    *shards,
+			Strategy:  *strategy,
+			Nodes:     strings.Split(*nodeAddrs, ","),
+			Heartbeat: time.Second,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psserve:", err)
+			os.Exit(2)
+		}
+		// The engine must drive the coordinator's own world replica.
+		w = co.World()
+		eng = ps.NewShardedEngine(co.Sharded(), engineOpts...)
+	} else if *shards > 1 {
 		if schedSet {
 			fmt.Fprintf(os.Stderr, "psserve: -sched %s cannot be combined with -shards %d: the geo-sharded layer always uses the greedy pipeline\n", *sched, *shards)
 			os.Exit(2)
@@ -112,10 +137,13 @@ func main() {
 		)
 	}
 	eng.Start()
+	if co != nil {
+		co.BindMetrics(eng.Observability())
+	}
 
 	// The flag keeps its historical meaning: 0 evicts finished records at
 	// the next sweep.
-	api := serve.New(eng, w, serve.Options{
+	sopts := serve.Options{
 		Retain:              *retain,
 		NoRetention:         *retain <= 0,
 		Strategy:            strat,
@@ -126,7 +154,11 @@ func main() {
 		HighWater:           *highWater,
 		MaxStreamsPerClient: *maxStreamsPerClient,
 		MaxStreams:          *maxStreams,
-	})
+	}
+	if co != nil {
+		sopts.Cluster = co.Membership
+	}
+	api := serve.New(eng, w, sopts)
 	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	go func() {
 		log.Printf("psserve: serving %s world (%d sensors) on %s, slot every %v, strategy %s, %d shard(s)",
@@ -151,6 +183,9 @@ func main() {
 	}
 	cancel()
 	eng.Stop()
+	if co != nil {
+		co.Close()
+	}
 	log.Print("psserve: bye")
 }
 

@@ -19,10 +19,13 @@ type StageTiming = obs.Span
 // engine wraps both with ingest and publish.
 const (
 	StageIngest      = "ingest"       // submissions/cancels drained between slots
+	StageMembership  = "membership"   // cluster: fact-TTL sweep, liveness gauges
 	StageOfferGather = "offer_gather" // Fleet.Step: collecting sensor offers
 	StageRoute       = "route"        // sharded: routing offers to shards
 	StageSelection   = "selection"    // unsharded: the full selection pass
 	StageShardSelect = "shard_select" // sharded: concurrent per-shard passes
+	StageLaneRPC     = "lane_rpc"     // cluster: residual wait on remote partials
+	StageGather      = "gather"       // cluster: binding wire partials for the merge
 	StageSpanning    = "spanning"     // sharded: cross-shard residual pass
 	StageReconcile   = "reconcile"    // sharded: deterministic merge
 	StageCommit      = "commit"       // Fleet.Commit: data acquisition

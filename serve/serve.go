@@ -98,6 +98,12 @@ type Options struct {
 	// and resumes from its cursor, missed frames surface as gaps. Zero
 	// means unlimited.
 	MaxStreams int
+
+	// Cluster, when the engine fronts a multi-node cluster, reports the
+	// coordinator's membership view (typically cluster.Coordinator's
+	// Membership method); /healthz includes it. Nil for single-process
+	// deployments.
+	Cluster func() []wire.ClusterMember
 }
 
 // Server owns the HTTP-side query registry. Each accepted query gets a
@@ -119,11 +125,12 @@ type Server struct {
 	// display; writes go through POST /strategy.
 	strategy atomic.Int32
 
-	log   *slog.Logger
-	obs   *serverObs
-	adm   *admission
-	start time.Time
-	debug bool
+	log     *slog.Logger
+	obs     *serverObs
+	adm     *admission
+	cluster func() []wire.ClusterMember
+	start   time.Time
+	debug   bool
 
 	// closing is closed by Shutdown: submissions 503 and watch streams
 	// end with a server_closing frame.
@@ -171,6 +178,7 @@ func New(eng *ps.Engine, world *ps.World, opts Options) *Server {
 		retain:  retain,
 		log:     logger,
 		obs:     newServerObs(eng.Observability()),
+		cluster: opts.Cluster,
 		start:   time.Now(),
 		debug:   opts.Debug,
 		closing: make(chan struct{}),
@@ -1033,8 +1041,7 @@ func (s *Server) handleSetStrategy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	m := s.eng.Metrics()
 	version, revision, goVersion := buildIdentity()
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, wire.Healthz{
+	h := wire.Healthz{
 		OK:            !s.isClosing(),
 		Slots:         m.Slots,
 		QueueDepth:    m.QueueDepth,
@@ -1042,7 +1049,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Revision:      revision,
 		GoVersion:     goVersion,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	if s.cluster != nil {
+		h.Cluster = s.cluster()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, h)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"slices"
@@ -123,8 +124,16 @@ type ShardedAggregator struct {
 	world *World
 	part  GridPartition
 
-	shards []*Aggregator // one lane per geographic shard
+	shards []*Aggregator // the in-process lane backing per shard
+	lanes  []LaneRunner  // the pluggable execution seam, one per shard
 	span   *Aggregator   // the cross-shard (spanning) lane
+
+	// preSlot, when set, runs at the top of every RunSlot before the
+	// fleet steps (the cluster coordinator's membership sweep).
+	preSlot func()
+	// sensorsByID resolves wire partials' sensor IDs; built lazily (fleet
+	// membership is fixed for a world's lifetime).
+	sensorsByID map[int]*sensornet.Sensor
 
 	order    shardedOrder
 	ledger   core.Ledger
@@ -171,6 +180,10 @@ func NewShardedAggregator(world *World, shards int, opts ...Option) *ShardedAggr
 			a.greedy.Strategy = core.StrategyLazy
 		}
 	}
+	sa.lanes = make([]LaneRunner, n)
+	for k := range sa.lanes {
+		sa.lanes[k] = &localLane{a: sa.shards[k]}
+	}
 	sa.stats = make([]ShardStats, n+1)
 	for k := range sa.stats {
 		sa.stats[k].Shard = k
@@ -181,6 +194,31 @@ func NewShardedAggregator(world *World, shards int, opts ...Option) *ShardedAggr
 
 // ShardCount returns the number of geographic shards.
 func (sa *ShardedAggregator) ShardCount() int { return len(sa.shards) }
+
+// SetLaneRunner replaces shard k's execution lane — the cluster
+// coordinator plugs a network lane in here, promoting the shard to a
+// remote node. The replaced in-process lane's aggregator is abandoned;
+// swap lanes before submitting queries. Remote lanes always run on their
+// own goroutine during RunSlot (they are IO-bound), while in-process
+// lanes keep the GOMAXPROCS-aware fan-out.
+func (sa *ShardedAggregator) SetLaneRunner(shard int, r LaneRunner) {
+	sa.lanes[shard] = r
+}
+
+// SetPreSlot registers a hook run at the top of every RunSlot, before the
+// fleet steps. The cluster coordinator uses it for the membership sweep
+// (fact-TTL expiry, liveness gauges); its wall time is traced as the
+// membership stage.
+func (sa *ShardedAggregator) SetPreSlot(f func()) { sa.preSlot = f }
+
+// sensorIdx lazily builds the fleet's sensor-by-ID index used to bind
+// wire partials.
+func (sa *ShardedAggregator) sensorIdx() map[int]*sensornet.Sensor {
+	if sa.sensorsByID == nil {
+		sa.sensorsByID = sensorIndex(sa.world.Fleet.Sensors)
+	}
+	return sa.sensorsByID
+}
 
 // Partition returns the geographic partitioner routing sensors and
 // queries to shards.
@@ -201,8 +239,8 @@ func (sa *ShardedAggregator) ShardStats() []ShardStats {
 
 // SetGreedyStrategy switches every lane's candidate-evaluation strategy.
 func (sa *ShardedAggregator) SetGreedyStrategy(s Strategy) {
-	for _, a := range sa.shards {
-		a.SetGreedyStrategy(s)
+	for _, l := range sa.lanes {
+		l.SetStrategy(s)
 	}
 	sa.span.SetGreedyStrategy(s)
 }
@@ -210,7 +248,7 @@ func (sa *ShardedAggregator) SetGreedyStrategy(s Strategy) {
 // SetShardStrategy switches a single shard's strategy, so hot shards can
 // run the lazy fast path while cold ones stay serial.
 func (sa *ShardedAggregator) SetShardStrategy(shard int, s Strategy) {
-	sa.shards[shard].SetGreedyStrategy(s)
+	sa.lanes[shard].SetStrategy(s)
 }
 
 // NextSlot returns the slot number the next RunSlot call will execute.
@@ -233,11 +271,13 @@ func (sa *ShardedAggregator) Submit(spec Spec) (SubmittedQuery, error) {
 // deprecated lenient submission path of the Engine wrappers).
 func (sa *ShardedAggregator) materializeSpec(spec Spec) (SubmittedQuery, error) {
 	home := sa.route(spec)
-	target := sa.span
+	var sq SubmittedQuery
+	var err error
 	if home >= 0 {
-		target = sa.shards[home]
+		sq, err = sa.lanes[home].Submit(spec)
+	} else {
+		sq, err = spec.materialize(sa.span)
 	}
-	sq, err := spec.materialize(target)
 	if err != nil {
 		return sq, err
 	}
@@ -281,8 +321,8 @@ func (sa *ShardedAggregator) route(spec Spec) int {
 // whichever lane holds it.
 func (sa *ShardedAggregator) CancelQuery(id string) bool {
 	removed := false
-	for _, a := range sa.shards {
-		removed = a.CancelQuery(id) || removed
+	for _, l := range sa.lanes {
+		removed = l.Cancel(id) || removed
 	}
 	removed = sa.span.CancelQuery(id) || removed
 	if removed {
@@ -299,6 +339,10 @@ func (sa *ShardedAggregator) CancelQuery(id string) bool {
 // one SlotReport.
 func (sa *ShardedAggregator) RunSlot() *SlotReport {
 	tr := obs.StartTrace()
+	if sa.preSlot != nil {
+		sa.preSlot()
+		tr.Mark(StageMembership)
+	}
 	offers := sa.world.Fleet.Step()
 	t := sa.world.Fleet.Slot()
 	tr.Mark(StageOfferGather)
@@ -321,26 +365,43 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 	}
 	tr.Mark(StageRoute)
 
-	// Per-shard passes run concurrently: lanes share only read-only world
-	// state (sensor positions, the phenomenon field, GP model), and each
-	// continuous query is owned by exactly one lane. Each lane times its
-	// own pass (ShardStats.SelectMs); on a single-core runner the lanes
-	// execute sequentially instead, which is behaviorally identical and
-	// keeps those timings free of goroutine time-slicing.
-	execs := make([]*slotExec, len(sa.shards))
-	laneMs := make([]float64, len(sa.shards))
+	// Per-shard passes run concurrently. In-process lanes share only
+	// read-only world state (sensor positions, the phenomenon field, GP
+	// model), and each continuous query is owned by exactly one lane.
+	// Each lane times its own pass (ShardStats.SelectMs); on a
+	// single-core runner in-process lanes execute sequentially instead,
+	// which is behaviorally identical and keeps those timings free of
+	// goroutine time-slicing. Network lanes are IO-bound, so they always
+	// fan out first and are gathered after the local compute window —
+	// their residual wait is the lane_rpc stage.
+	partials := make([]*LanePartial, len(sa.lanes))
+	laneErrs := make([]error, len(sa.lanes))
 	runLane := func(k int) {
-		laneStart := time.Now()
-		execs[k] = sa.shards[k].executeSlot(t, parts[k], true)
-		laneMs[k] = float64(time.Since(laneStart).Nanoseconds()) / 1e6
+		partials[k], laneErrs[k] = sa.lanes[k].RunLane(t, parts[k])
+	}
+	var local, remote []int
+	for k, l := range sa.lanes {
+		if _, ok := l.(*localLane); ok {
+			local = append(local, k)
+		} else {
+			remote = append(remote, k)
+		}
+	}
+	var rwg sync.WaitGroup
+	for _, k := range remote {
+		rwg.Add(1)
+		go func(k int) {
+			defer rwg.Done()
+			runLane(k)
+		}(k)
 	}
 	if runtime.GOMAXPROCS(0) == 1 {
-		for k := range sa.shards {
+		for _, k := range local {
 			runLane(k)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for k := range sa.shards {
+		for _, k := range local {
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
@@ -350,6 +411,35 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 		wg.Wait()
 	}
 	tr.Mark(StageShardSelect)
+	if len(remote) > 0 {
+		rwg.Wait()
+		tr.Mark(StageLaneRPC)
+	}
+
+	// Bind the partials into executable form. A lane that failed (node
+	// dead, stale partial, lockstep divergence) degrades: its resident
+	// queries get no outcome this slot and the failure is surfaced in
+	// SlotReport.Degraded rather than corrupting the merge.
+	execs := make([]*slotExec, len(sa.lanes))
+	laneMs := make([]float64, len(sa.lanes))
+	var degraded []LaneError
+	for k := range sa.lanes {
+		if laneErrs[k] == nil && partials[k] != nil && partials[k].Slot != t {
+			laneErrs[k] = fmt.Errorf("ps: lane %d returned a partial for slot %d, want %d",
+				k, partials[k].Slot, t)
+		}
+		if laneErrs[k] == nil && partials[k] != nil {
+			execs[k], laneErrs[k] = partials[k].bind(sa.sensorIdx())
+			laneMs[k] = partials[k].SelectMs
+		}
+		if laneErrs[k] != nil {
+			execs[k] = nil
+			degraded = append(degraded, LaneError{Shard: k, Err: laneErrs[k]})
+		}
+	}
+	if len(remote) > 0 {
+		tr.Mark(StageGather)
+	}
 
 	// Spanning pass: cross-shard queries compete for the residual supply,
 	// the offers no shard selected.
@@ -363,6 +453,9 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 		}
 		taken := sa.takenBuf
 		for _, ex := range execs {
+			if ex == nil {
+				continue
+			}
 			for _, s := range ex.selected {
 				taken[s.ID] = true
 			}
@@ -381,6 +474,7 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 	tr.Mark(StageSpanning)
 
 	rep, selected := sa.reconcile(t, len(offers), parts, execs, gidx, spanExec, laneMs, spanMs)
+	rep.Degraded = degraded
 	tr.Mark(StageReconcile)
 
 	// Data acquisition and accounting (stage 5 of Algorithm 5), once over
@@ -389,7 +483,9 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 	tr.Mark(StageCommit)
 	mixes := make([]*core.MixSlotResult, 0, len(execs)+1)
 	for _, ex := range execs {
-		mixes = append(mixes, ex.mix)
+		if ex != nil {
+			mixes = append(mixes, ex.mix)
+		}
 	}
 	if spanExec != nil {
 		mixes = append(mixes, spanExec.mix)
@@ -400,8 +496,18 @@ func (sa *ShardedAggregator) RunSlot() *SlotReport {
 		sa.stats[i].accumulate(s)
 	}
 
-	for _, a := range sa.shards {
-		a.retire(t)
+	// Propagate the slot's global commit to every lane: in-process lanes
+	// retire consumed queries; network lanes forward the commit so node
+	// replicas step in lockstep. A commit that cannot be delivered
+	// degrades the lane (it resyncs by deterministic replay on rejoin).
+	selectedIDs := make([]int, len(selected))
+	for i, s := range selected {
+		selectedIDs[i] = s.ID
+	}
+	for k, l := range sa.lanes {
+		if err := l.FinishSlot(t, selectedIDs); err != nil {
+			rep.Degraded = append(rep.Degraded, LaneError{Shard: k, Err: err})
+		}
 	}
 	sa.span.retire(t)
 	sa.order.each(func(s *[]shardedEntry) {
@@ -441,6 +547,9 @@ func (sa *ShardedAggregator) reconcile(t, offers int, parts [][]core.Offer, exec
 		best, bestIdx := -1, 0
 		var bestNet float64
 		for k, ex := range execs {
+			if ex == nil {
+				continue
+			}
 			tr := ex.mix.Multi.Trace
 			if heads[k] >= len(tr) {
 				continue
@@ -473,6 +582,9 @@ func (sa *ShardedAggregator) reconcile(t, offers int, parts [][]core.Offer, exec
 	// Per-type values in global submission order.
 	mixFor := func(home int) *core.MixSlotResult {
 		if home >= 0 {
+			if execs[home] == nil {
+				return nil
+			}
 			return execs[home].mix
 		}
 		if spanExec != nil {
@@ -546,6 +658,12 @@ func (sa *ShardedAggregator) reconcile(t, offers int, parts [][]core.Offer, exec
 		})
 	}
 	for k, ex := range execs {
+		if ex == nil {
+			// Keep rep.Shards index-aligned for the stats accumulation:
+			// a degraded lane contributes zeros this slot.
+			rep.Shards = append(rep.Shards, ShardStats{Shard: k})
+			continue
+		}
 		mergeLane(ex, k, false, len(parts[k]), laneMs[k])
 	}
 	if spanExec != nil {

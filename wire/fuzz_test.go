@@ -152,6 +152,81 @@ func TestFrameSeedsDecode(t *testing.T) {
 	}
 }
 
+// clusterSeeds are valid (and near-valid) cluster frames covering every
+// frame type, the oplog shapes and the documented error cases.
+var clusterSeeds = []string{
+	`{"v":1,"type":"hello","seq":1,"epoch":1,"node":"n0","slot":0,"config":{"world":"rwm","seed":21,"sensors":220,"shards":4,"shard":0}}`,
+	`{"v":1,"type":"resync","seq":2,"epoch":2,"node":"n0","slot":0,"config":{"world":"intellab","seed":7,"shards":2,"shard":1,"strategy":"lazy"},"ops":[{"op":"submit","spec":{"v":1,"type":"point","id":"q1","loc":{"x":30,"y":30},"budget":15}},{"op":"cancel","id":"q2"},{"op":"strategy","strategy":"serial"},{"op":"slot","slot":0,"selected":[3,1,7],"ran":true},{"op":"slot","slot":1,"ran":false}]}`,
+	`{"v":1,"type":"submit","seq":3,"epoch":1,"slot":0,"spec":{"v":1,"type":"aggregate","id":"a","region":{"x0":20,"y0":20,"x1":40,"y1":40},"budget":250}}`,
+	`{"v":1,"type":"cancel","seq":4,"epoch":1,"slot":0,"id":"q1"}`,
+	`{"v":1,"type":"set_strategy","seq":5,"epoch":1,"slot":0,"strategy":"lazy"}`,
+	`{"v":1,"type":"run_slot","seq":6,"epoch":1,"slot":3}`,
+	`{"v":1,"type":"commit","seq":7,"epoch":1,"slot":3,"selected":[5,2,9]}`,
+	`{"v":1,"type":"ping","seq":8,"epoch":1,"slot":0,"facts":[{"subject":"n0","attribute":"alive","value":"1","ttl_ms":1500}]}`,
+	`{"v":1,"type":"ok","seq":4,"epoch":1,"slot":0,"removed":true}`,
+	`{"v":1,"type":"submitted","seq":3,"epoch":1,"slot":0,"id":"a","kind":"aggregate","start":1,"end":1}`,
+	`{"v":1,"type":"partial","seq":6,"epoch":1,"slot":3,"partial":{"slot":3,"offers":12,"queries":2,"selected_ids":[5,2],"trace":[{"Offer":4,"SensorID":5,"Cost":0.5,"Net":2.25},{"Offer":1,"SensorID":2,"Cost":0.25,"Net":1.5}],"outcomes":{"q1":{"value":3.5,"payments":{"5":0.5}}},"total_cost":0.75,"point_value":3.5,"agg_value":0,"locmon_value":0,"regmon_value":0,"extra_value":0,"welfare":2.75,"values":{"q1":3.5},"payments":{"q1":0.5},"selection":{},"select_ms":0.4}}`,
+	`{"v":1,"type":"error","seq":9,"epoch":2,"slot":0,"error":"ps: stale cluster epoch","code":"stale_epoch"}`,
+	`{"v":2,"type":"ping","seq":1,"epoch":1,"slot":0}`,                                                                       // wrong version
+	`{"v":1,"type":"warp","seq":1,"epoch":1,"slot":0}`,                                                                       // unknown type
+	`{"v":1,"type":"hello","seq":1,"epoch":1,"slot":0}`,                                                                      // missing config
+	`{"v":1,"type":"hello","seq":1,"epoch":1,"slot":0,"config":{"world":"moon","shards":1,"shard":0}}`,                       // unknown world
+	`{"v":1,"type":"hello","seq":1,"epoch":1,"slot":0,"config":{"world":"rwm","shards":2,"shard":2}}`,                        // shard out of range
+	`{"v":1,"type":"submit","seq":1,"epoch":1,"slot":0}`,                                                                     // missing spec
+	`{"v":1,"type":"cancel","seq":1,"epoch":1,"slot":0}`,                                                                     // missing id
+	`{"v":1,"type":"partial","seq":1,"epoch":1,"slot":0}`,                                                                    // missing partial
+	`{"v":1,"type":"error","seq":1,"epoch":1,"slot":0}`,                                                                      // missing error text
+	`{"v":1,"type":"resync","seq":1,"epoch":1,"slot":0,"config":{"world":"rwm","shards":1,"shard":0},"ops":[{"op":"warp"}]}`, // unknown op
+	`{}`, `null`, `[]`, `"ping"`, `{"type":12}`, `{"v":-1,"type":"ping"}`,
+}
+
+// FuzzDecodeClusterFrame: arbitrary bytes never panic the cluster frame
+// decoder, and every successfully decoded frame re-encodes to a stable
+// canonical form (encode∘decode is a fixed point on the codec's own
+// output), mirroring FuzzDecodeEventFrame.
+func FuzzDecodeClusterFrame(f *testing.F) {
+	for _, s := range clusterSeeds {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(`{"v":1,"type":"commit","seq":18446744073709551615,"epoch":1,"slot":-9,"selected":[0,0,0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := wire.DecodeClusterFrame(data)
+		if err != nil {
+			return
+		}
+		encoded, err := wire.MarshalClusterFrame(frame)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", frame, err)
+		}
+		back, err := wire.DecodeClusterFrame(encoded)
+		if err != nil {
+			t.Fatalf("re-decode of %s: %v", encoded, err)
+		}
+		encoded2, err := wire.MarshalClusterFrame(back)
+		if err != nil {
+			t.Fatalf("re-encode of %s: %v", encoded, err)
+		}
+		if !bytes.Equal(encoded, encoded2) {
+			t.Fatalf("frame encoding is not a fixed point:\n first  %s\n second %s", encoded, encoded2)
+		}
+	})
+}
+
+// TestClusterSeedsDecode pins which cluster seeds are valid, keeping the
+// fuzz corpus honest about the shapes the decoder accepts.
+func TestClusterSeedsDecode(t *testing.T) {
+	decoded := 0
+	for _, s := range clusterSeeds {
+		if _, err := wire.DecodeClusterFrame([]byte(s)); err == nil {
+			decoded++
+		}
+	}
+	if decoded != 12 {
+		t.Errorf("%d cluster seeds decode, want exactly the 12 valid ones", decoded)
+	}
+}
+
 // TestEnvelopeSeedsDecode pins which seeds are valid: the fuzz corpus
 // stays honest about which shapes the codec accepts.
 func TestEnvelopeSeedsDecode(t *testing.T) {

@@ -251,6 +251,13 @@ const (
 	CodeRateLimited = "rate_limited"
 )
 
+// Cluster error codes (coordinator <-> node frames and anything the
+// serve layer relays from a degraded slot).
+const (
+	CodeNodeUnavailable = "node_unavailable"
+	CodeStaleEpoch      = "stale_epoch"
+)
+
 // errorCodes is the bidirectional sentinel <-> code table.
 var errorCodes = []struct {
 	code string
@@ -273,6 +280,8 @@ var errorCodes = []struct {
 	{CodeDuplicateQueryID, ps.ErrDuplicateQueryID},
 	{CodeCanceled, ps.ErrCanceled},
 	{CodeUnknownQuery, ps.ErrUnknownQuery},
+	{CodeNodeUnavailable, ps.ErrNodeUnavailable},
+	{CodeStaleEpoch, ps.ErrStaleEpoch},
 }
 
 // ErrorCode returns the stable code for an error that is (or wraps) one

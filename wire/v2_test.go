@@ -106,6 +106,8 @@ func TestErrorCodeSentinelBijection(t *testing.T) {
 		wire.CodeDuplicateQueryID:   ps.ErrDuplicateQueryID,
 		wire.CodeCanceled:           ps.ErrCanceled,
 		wire.CodeUnknownQuery:       ps.ErrUnknownQuery,
+		wire.CodeNodeUnavailable:    ps.ErrNodeUnavailable,
+		wire.CodeStaleEpoch:         ps.ErrStaleEpoch,
 	}
 	seen := map[string]bool{}
 	for code, sentinel := range sentinels {

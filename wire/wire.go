@@ -513,6 +513,9 @@ type Healthz struct {
 	GoVersion string `json:"go_version,omitempty"`
 	// UptimeSeconds is how long this server process has been serving.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Cluster lists shard-node membership when the engine runs on a
+	// cluster coordinator; nil for single-process deployments.
+	Cluster []ClusterMember `json:"cluster,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response. Code, when
